@@ -1,0 +1,53 @@
+// Shared plumbing for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "testbed/testbed.h"
+#include "workloads/harness.h"
+#include "workloads/kernels.h"
+#include "workloads/metadata.h"
+
+namespace tio::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("   paper reference: %s\n\n", paper_ref.c_str());
+}
+
+// MB/s (decimal), the unit the paper plots.
+inline double mbps(double bytes_per_sec) { return bytes_per_sec / 1e6; }
+
+// Builds a fresh LANL-cluster rig (Sections III-V testbed).
+inline testbed::Rig::Options lanl_rig(std::size_t num_mds = 1, std::size_t backends = 0) {
+  testbed::Rig::Options o;
+  o.cluster = testbed::lanl_cluster();
+  o.pfs = testbed::lanl_pfs(num_mds);
+  o.plfs_backends = backends;
+  return o;
+}
+
+// Builds a fresh Cielo rig (Section VI testbed).
+inline testbed::Rig::Options cielo_rig(std::size_t num_mds = 10, std::size_t backends = 0) {
+  testbed::Rig::Options o;
+  o.cluster = testbed::cielo();
+  o.pfs = testbed::cielo_pfs(num_mds);
+  o.plfs_backends = backends;
+  return o;
+}
+
+// Doubling sweep capped at `max`, always including `max` itself.
+inline std::vector<int> sweep(int from, int max) {
+  std::vector<int> out;
+  for (int v = from; v < max; v *= 2) out.push_back(v);
+  if (out.empty() || out.back() != max) out.push_back(max);
+  return out;
+}
+
+}  // namespace tio::bench

@@ -1,0 +1,71 @@
+// Figure 7: N-N metadata performance with federated metadata servers.
+//
+//   7a Open time (incl. creation) vs number of files: PLFS-1/3/6/9 MDS and
+//      direct access. PLFS-1 is worst (container creation through a single
+//      namespace); PLFS-6 and PLFS-9 beat direct access.
+//   7b Close time: more MDS lowers it, but direct stays fastest (closing is
+//      light; PLFS closes also write size droppings and clean openhosts).
+//
+// Every direct create lands in one shared directory (one MDS serializes
+// inserts); PLFS hashes containers and subdirs across the federated
+// namespaces.
+#include "bench_util.h"
+
+using namespace tio;
+using namespace tio::workloads;
+
+int main(int argc, char** argv) {
+  FlagSet flags("fig7_metadata_nn: N-N open/close times vs file count and MDS count");
+  auto* procs = flags.add_i64("procs", 128, "processes creating files");
+  auto* max_files = flags.add_i64("max-files", 8192, "largest total file count");
+  if (auto st = flags.parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  const std::vector<std::size_t> mds_counts = {1, 3, 6, 9};
+  const auto file_counts = bench::sweep(1024, static_cast<int>(*max_files));
+
+  struct Cell {
+    double open, close;
+  };
+  std::vector<std::vector<Cell>> plfs_cells(mds_counts.size());
+  std::vector<Cell> direct_cells;
+
+  for (const int files : file_counts) {
+    MetaSpec spec;
+    spec.files_per_proc = std::max(1, files / static_cast<int>(*procs));
+    for (std::size_t i = 0; i < mds_counts.size(); ++i) {
+      testbed::Rig rig(bench::lanl_rig(mds_counts[i]));
+      spec.use_plfs = true;
+      const MetaResult r = run_metadata_storm(rig, static_cast<int>(*procs), spec);
+      plfs_cells[i].push_back(Cell{r.open_s, r.close_s});
+    }
+    // Direct N-N on the same hardware as the largest federation — the
+    // extra MDS cannot help because every create is in one directory.
+    testbed::Rig rig(bench::lanl_rig(mds_counts.back()));
+    spec.use_plfs = false;
+    const MetaResult r = run_metadata_storm(rig, static_cast<int>(*procs), spec);
+    direct_cells.push_back(Cell{r.open_s, r.close_s});
+  }
+
+  bench::print_header("Fig. 7a — N-N Open Time (s, includes creation)",
+                      "PLFS-6/PLFS-9 beat direct; PLFS-1 worst");
+  Table a({"files", "PLFS-1", "PLFS-3", "PLFS-6", "PLFS-9", "W/O PLFS"});
+  for (std::size_t f = 0; f < file_counts.size(); ++f) {
+    a.add_row({std::to_string(file_counts[f]), Table::num(plfs_cells[0][f].open, 3),
+               Table::num(plfs_cells[1][f].open, 3), Table::num(plfs_cells[2][f].open, 3),
+               Table::num(plfs_cells[3][f].open, 3), Table::num(direct_cells[f].open, 3)});
+  }
+  a.print(std::cout);
+
+  bench::print_header("Fig. 7b — N-N Close Time (s)",
+                      "more MDS helps PLFS, but direct close stays fastest");
+  Table b({"files", "PLFS-1", "PLFS-3", "PLFS-6", "PLFS-9", "W/O PLFS"});
+  for (std::size_t f = 0; f < file_counts.size(); ++f) {
+    b.add_row({std::to_string(file_counts[f]), Table::num(plfs_cells[0][f].close, 3),
+               Table::num(plfs_cells[1][f].close, 3), Table::num(plfs_cells[2][f].close, 3),
+               Table::num(plfs_cells[3][f].close, 3), Table::num(direct_cells[f].close, 3)});
+  }
+  b.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 8: large-scale validation on the Cielo testbed.
+//
+//   8a Read bandwidth up to 65,536 processes: N-N direct, N-N PLFS, and
+//      N-1 PLFS (Parallel Index Read, 10 federated MDS). N-1 through PLFS
+//      tracks or exceeds direct N-N.
+//   8b Large N-N write-open time: PLFS-1 vs PLFS-10 vs PLFS-20.
+//   8c Large N-1 write-open time: PLFS-1 vs PLFS-10 (container/subdir
+//      creation burst; federation matters as process count grows).
+//   8d N-N open time, PLFS-10 vs direct: paper reports a 17x speedup at
+//      32,768 processes.
+#include "bench_util.h"
+
+using namespace tio;
+using namespace tio::workloads;
+
+int main(int argc, char** argv) {
+  FlagSet flags("fig8_large_scale: Cielo-scale read and metadata results");
+  auto* max_read_procs = flags.add_i64("max-read-procs", 65536, "largest read job (fig 8a)");
+  auto* max_meta_procs = flags.add_i64("max-meta-procs", 32768, "largest storm (figs 8b-d)");
+  auto* per_proc_mib = flags.add_i64("per-proc-mib", 4, "MiB per process for fig 8a");
+  if (auto st = flags.parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
+  const std::uint64_t record = 256_KiB;
+
+  // --- 8a: read bandwidth ---
+  bench::print_header("Fig. 8a — Large-Scale Read Bandwidth (MB/s)",
+                      "N-1 PLFS close to / above direct N-N across process counts");
+  {
+    Table t({"procs", "N-N w/o PLFS", "N-N PLFS", "N-1 PLFS"});
+    for (const int n : bench::sweep(4096, static_cast<int>(*max_read_procs))) {
+      auto bw = [&](Access access, const OpGen& ops) {
+        testbed::Rig rig(bench::cielo_rig(10));
+        JobSpec spec;
+        spec.file = "big";
+        spec.ops = ops;
+        spec.target.access = access;
+        spec.target.strategy = plfs::ReadStrategy::parallel_read;
+        spec.drop_caches_before_read = true;
+        return run_job(rig, n, spec).read.effective_bw();
+      };
+      const double nn_direct = bw(Access::direct_nn, segmented_ops(per_proc, record));
+      const double nn_plfs = bw(Access::plfs_nn, segmented_ops(per_proc, record));
+      const double n1_plfs = bw(Access::plfs_n1, strided_ops(per_proc, record));
+      t.add_row({std::to_string(n), Table::num(bench::mbps(nn_direct)),
+                 Table::num(bench::mbps(nn_plfs)), Table::num(bench::mbps(n1_plfs))});
+    }
+    t.print(std::cout);
+  }
+
+  const auto storm_procs = bench::sweep(4096, static_cast<int>(*max_meta_procs));
+
+  // --- 8b: N-N open storm across MDS counts ---
+  bench::print_header("Fig. 8b — Large N-N Open Time (s)",
+                      "PLFS-1 poor; PLFS-10 dramatically better");
+  {
+    Table t({"procs", "PLFS-1", "PLFS-10", "PLFS-20"});
+    for (const int n : storm_procs) {
+      std::vector<std::string> row = {std::to_string(n)};
+      for (const std::size_t mds : {std::size_t{1}, std::size_t{10}, std::size_t{20}}) {
+        testbed::Rig rig(bench::cielo_rig(mds));
+        MetaSpec spec;
+        spec.use_plfs = true;
+        row.push_back(Table::num(run_metadata_storm(rig, n, spec).open_s, 2));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  // --- 8c: N-1 open storm (shared container) ---
+  bench::print_header("Fig. 8c — Large N-1 Open Time (s)",
+                      "similar at small scale; PLFS-10 wins as procs grow");
+  {
+    Table t({"procs", "PLFS-1", "PLFS-10"});
+    for (const int n : storm_procs) {
+      std::vector<std::string> row = {std::to_string(n)};
+      for (const std::size_t mds : {std::size_t{1}, std::size_t{10}}) {
+        testbed::Rig rig(bench::cielo_rig(mds));
+        MetaSpec spec;
+        spec.use_plfs = true;
+        spec.shared_file = true;
+        row.push_back(Table::num(run_metadata_storm(rig, n, spec).open_s, 2));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  // --- 8d: PLFS-10 vs direct ---
+  bench::print_header("Fig. 8d — N-N Open Time, PLFS-10 vs W/O PLFS (s)",
+                      "paper: up to 17x faster with PLFS at 32,768 processes");
+  {
+    Table t({"procs", "W/O PLFS", "PLFS-10", "speedup"});
+    for (const int n : storm_procs) {
+      MetaSpec spec;
+      testbed::Rig rig_direct(bench::cielo_rig(10));
+      spec.use_plfs = false;
+      const double direct = run_metadata_storm(rig_direct, n, spec).open_s;
+      testbed::Rig rig_plfs(bench::cielo_rig(10));
+      spec.use_plfs = true;
+      const double plfs = run_metadata_storm(rig_plfs, n, spec).open_s;
+      t.add_row({std::to_string(n), Table::num(direct, 2), Table::num(plfs, 2),
+                 Table::num(direct / plfs, 1) + "x"});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

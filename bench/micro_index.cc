@@ -1,0 +1,85 @@
+// Microbenchmarks of the index hot paths (google-benchmark): build, lookup,
+// and (de)serialization — the CPU work each reader pays at open.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "plfs/index.h"
+
+namespace tio::plfs {
+namespace {
+
+std::vector<IndexEntry> strided_entries(int writers, int per_writer) {
+  std::vector<IndexEntry> out;
+  std::vector<std::uint64_t> phys(writers, 0);
+  constexpr std::uint64_t kRecord = 64 << 10;
+  for (int r = 0; r < per_writer; ++r) {
+    for (int w = 0; w < writers; ++w) {
+      out.push_back(IndexEntry{(static_cast<std::uint64_t>(r) * writers + w) * kRecord, kRecord,
+                               phys[w], static_cast<std::int64_t>(out.size() + 1),
+                               static_cast<std::uint32_t>(w)});
+      phys[w] += kRecord;
+    }
+  }
+  return out;
+}
+
+void BM_IndexBuildStrided(benchmark::State& state) {
+  const auto entries = strided_entries(static_cast<int>(state.range(0)), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Index::build(entries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_IndexBuildStrided)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_IndexBuildSequentialCompresses(benchmark::State& state) {
+  // One writer, purely sequential: compression collapses to one mapping.
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    entries.push_back(IndexEntry{static_cast<std::uint64_t>(i) * 4096, 4096,
+                                 static_cast<std::uint64_t>(i) * 4096, i + 1, 0});
+  }
+  for (auto _ : state) {
+    const Index idx = Index::build(entries);
+    benchmark::DoNotOptimize(idx.mapping_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IndexBuildSequentialCompresses)->Arg(1024)->Arg(16384);
+
+void BM_IndexLookup(benchmark::State& state) {
+  const Index idx = Index::build(strided_entries(static_cast<int>(state.range(0)), 64));
+  Rng rng(42);
+  const std::uint64_t size = idx.logical_size();
+  for (auto _ : state) {
+    const std::uint64_t off = rng.below(size - 1);
+    benchmark::DoNotOptimize(idx.lookup(off, std::min<std::uint64_t>(1 << 20, size - off)));
+  }
+}
+BENCHMARK(BM_IndexLookup)->Arg(64)->Arg(1024);
+
+void BM_EntrySerialization(benchmark::State& state) {
+  const auto entries = strided_entries(256, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_entries(entries));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries.size() * IndexEntry::kSerializedSize));
+}
+BENCHMARK(BM_EntrySerialization);
+
+void BM_EntryDeserialization(benchmark::State& state) {
+  const auto entries = strided_entries(256, 64);
+  FragmentList fl;
+  fl.append(DataView::literal(serialize_entries(entries)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deserialize_entries(fl));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fl.size()));
+}
+BENCHMARK(BM_EntryDeserialization);
+
+}  // namespace
+}  // namespace tio::plfs

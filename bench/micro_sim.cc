@@ -1,0 +1,89 @@
+// Microbenchmarks of the simulator core (google-benchmark): event loop
+// throughput, fair-share channel churn, and extent-map writes — these bound
+// how large a simulated machine the benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pfs/extent_map.h"
+#include "sim/engine.h"
+#include "sim/fairshare.h"
+#include "sim/sync.h"
+
+namespace tio::sim {
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.after(Duration::us(i % 977), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(100000);
+
+Task<void> hop(Engine& engine, int hops) {
+  for (int i = 0; i < hops; ++i) co_await engine.sleep(Duration::ns(10));
+}
+
+void BM_CoroutineHops(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    for (int p = 0; p < 100; ++p) engine.spawn(hop(engine, static_cast<int>(state.range(0))));
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100 * state.range(0));
+}
+BENCHMARK(BM_CoroutineHops)->Arg(1000);
+
+Task<void> one_transfer(FairShareChannel& ch, std::uint64_t bytes) {
+  co_await ch.transfer(bytes);
+}
+
+void BM_FairShareChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    FairShareChannel ch(engine, 1e9);
+    Rng rng(7);
+    for (int i = 0; i < state.range(0); ++i) {
+      engine.spawn(one_transfer(ch, 1000 + rng.below(100000)));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FairShareChurn)->Arg(10000);
+
+void BM_ExtentMapRandomWrites(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    pfs::ExtentMap map;
+    for (int i = 0; i < state.range(0); ++i) {
+      const std::uint64_t off = rng.below(1 << 26);
+      map.write(off, DataView::pattern(i, off, 1 + rng.below(1 << 14)));
+    }
+    benchmark::DoNotOptimize(map.extent_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ExtentMapRandomWrites)->Arg(10000);
+
+void BM_ExtentMapAppendCoalesce(benchmark::State& state) {
+  for (auto _ : state) {
+    pfs::ExtentMap map;
+    for (int i = 0; i < state.range(0); ++i) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) * 4096;
+      map.write(off, DataView::pattern(1, off, 4096));
+    }
+    if (map.extent_count() != 1) std::abort();  // coalescing must hold
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ExtentMapAppendCoalesce)->Arg(10000);
+
+}  // namespace
+}  // namespace tio::sim

@@ -1,0 +1,114 @@
+#include "common/dataview.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tio {
+
+DataView DataView::literal(std::vector<std::byte> bytes) {
+  DataView v;
+  v.kind_ = Kind::literal;
+  v.size_ = bytes.size();
+  v.lit_ = std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  return v;
+}
+
+DataView DataView::literal_string(std::string_view s) {
+  std::vector<std::byte> b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return literal(std::move(b));
+}
+
+std::byte DataView::at(std::uint64_t i) const {
+  if (i >= size_) throw std::out_of_range("DataView::at");
+  switch (kind_) {
+    case Kind::zero: return std::byte{0};
+    case Kind::pattern: return pattern_byte(seed_, base_ + i);
+    case Kind::literal: return (*lit_)[lit_off_ + i];
+  }
+  return std::byte{0};
+}
+
+DataView DataView::slice(std::uint64_t off, std::uint64_t len) const {
+  if (off > size_ || len > size_ - off) throw std::out_of_range("DataView::slice");
+  DataView v = *this;
+  v.size_ = len;
+  switch (kind_) {
+    case Kind::zero: break;
+    case Kind::pattern: v.base_ = base_ + off; break;
+    case Kind::literal: v.lit_off_ = lit_off_ + off; break;
+  }
+  return v;
+}
+
+std::vector<std::byte> DataView::to_bytes() const {
+  std::vector<std::byte> out(size_);
+  switch (kind_) {
+    case Kind::zero: break;
+    case Kind::pattern:
+      for (std::uint64_t i = 0; i < size_; ++i) out[i] = pattern_byte(seed_, base_ + i);
+      break;
+    case Kind::literal:
+      std::memcpy(out.data(), lit_->data() + lit_off_, size_);
+      break;
+  }
+  return out;
+}
+
+std::string DataView::to_string() const {
+  std::string s(size_, '\0');
+  for (std::uint64_t i = 0; i < size_; ++i) s[i] = static_cast<char>(at(i));
+  return s;
+}
+
+bool DataView::content_equals(const DataView& other) const {
+  if (size_ != other.size_) return false;
+  // Fast path: identical descriptors.
+  if (kind_ == other.kind_) {
+    if (kind_ == Kind::zero) return true;
+    if (kind_ == Kind::pattern && seed_ == other.seed_ && base_ == other.base_) return true;
+    if (kind_ == Kind::literal && lit_ == other.lit_ && lit_off_ == other.lit_off_) return true;
+  }
+  for (std::uint64_t i = 0; i < size_; ++i) {
+    if (at(i) != other.at(i)) return false;
+  }
+  return true;
+}
+
+std::byte FragmentList::at(std::uint64_t i) const {
+  for (const auto& f : frags_) {
+    if (i < f.size()) return f.at(i);
+    i -= f.size();
+  }
+  throw std::out_of_range("FragmentList::at");
+}
+
+std::vector<std::byte> FragmentList::to_bytes() const {
+  std::vector<std::byte> out;
+  out.reserve(size_);
+  for (const auto& f : frags_) {
+    auto b = f.to_bytes();
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+bool FragmentList::content_equals(const DataView& expect) const {
+  if (size_ != expect.size()) return false;
+  std::uint64_t pos = 0;
+  for (const auto& f : frags_) {
+    if (!f.content_equals(expect.slice(pos, f.size()))) return false;
+    pos += f.size();
+  }
+  return true;
+}
+
+bool FragmentList::content_equals(const FragmentList& other) const {
+  if (size_ != other.size_) return false;
+  for (std::uint64_t i = 0; i < size_; ++i) {
+    if (at(i) != other.at(i)) return false;  // correctness-checking path; O(n) is fine
+  }
+  return true;
+}
+
+}  // namespace tio

@@ -1,0 +1,110 @@
+// Pattern-described byte buffers.
+//
+// Simulating 65,536 ranks each writing tens of megabytes cannot store the
+// literal bytes, but we still want every read verified against what was
+// logically written. A DataView describes `size()` bytes of content either
+// as literal storage or as a deterministic (seed, base-offset) pattern whose
+// i-th byte is a pure function — comparing, slicing, and verifying never
+// require materialization. A FragmentList stitches the views a scattered
+// read returns back into one logical extent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tio {
+
+class DataView {
+ public:
+  enum class Kind : std::uint8_t { zero, pattern, literal };
+
+  DataView() = default;  // empty view
+
+  static DataView zeros(std::uint64_t n) {
+    DataView v;
+    v.kind_ = Kind::zero;
+    v.size_ = n;
+    return v;
+  }
+  // Bytes i in [0, n) equal pattern_byte(seed, base + i).
+  static DataView pattern(std::uint64_t seed, std::uint64_t base, std::uint64_t n) {
+    DataView v;
+    v.kind_ = Kind::pattern;
+    v.size_ = n;
+    v.seed_ = seed;
+    v.base_ = base;
+    return v;
+  }
+  static DataView literal(std::vector<std::byte> bytes);
+  static DataView literal_string(std::string_view s);
+
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Kind kind() const { return kind_; }
+  std::uint64_t pattern_seed() const { return seed_; }
+  std::uint64_t pattern_base() const { return base_; }
+
+  // True when `next` is the byte-for-byte continuation of this view, so the
+  // two can be coalesced into one descriptor (extent-map compaction).
+  bool continues_with(const DataView& next) const {
+    if (kind_ != next.kind_) return false;
+    switch (kind_) {
+      case Kind::zero: return true;
+      case Kind::pattern: return seed_ == next.seed_ && base_ + size_ == next.base_;
+      case Kind::literal: return lit_ == next.lit_ && lit_off_ + size_ == next.lit_off_;
+    }
+    return false;
+  }
+  // Extends this view by its continuation (precondition: continues_with).
+  void extend(std::uint64_t extra) { size_ += extra; }
+
+  static std::byte pattern_byte(std::uint64_t seed, std::uint64_t index) {
+    const std::uint64_t word = splitmix64(seed ^ (0x9e3779b97f4a7c15ull * (index >> 3)));
+    return static_cast<std::byte>((word >> ((index & 7) * 8)) & 0xff);
+  }
+
+  std::byte at(std::uint64_t i) const;
+  DataView slice(std::uint64_t off, std::uint64_t len) const;
+  std::vector<std::byte> to_bytes() const;
+  std::string to_string() const;  // literal content as a std::string
+
+  bool content_equals(const DataView& other) const;
+
+ private:
+  Kind kind_ = Kind::zero;
+  std::uint64_t size_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t base_ = 0;
+  std::shared_ptr<const std::vector<std::byte>> lit_;
+  std::uint64_t lit_off_ = 0;
+};
+
+// An ordered, gap-free concatenation of views; the result type of reads that
+// gather from several physical locations.
+class FragmentList {
+ public:
+  void append(DataView v) {
+    if (v.empty()) return;
+    size_ += v.size();
+    frags_.push_back(std::move(v));
+  }
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::vector<DataView>& fragments() const { return frags_; }
+
+  std::byte at(std::uint64_t i) const;
+  std::vector<std::byte> to_bytes() const;
+  bool content_equals(const DataView& expect) const;
+  bool content_equals(const FragmentList& other) const;
+
+ private:
+  std::vector<DataView> frags_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace tio

@@ -1,0 +1,104 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <charconv>
+
+#include "common/strutil.h"
+
+namespace tio {
+
+int64_t* FlagSet::add_i64(std::string name, int64_t def, std::string help) {
+  int64_t* slot = &(i64s_[name] = def);
+  flags_[name] = Flag{std::move(help), std::to_string(def), false,
+                      [slot](std::string_view v) {
+                        auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), *slot);
+                        return ec == std::errc{} && p == v.data() + v.size();
+                      }};
+  return slot;
+}
+
+double* FlagSet::add_f64(std::string name, double def, std::string help) {
+  double* slot = &(f64s_[name] = def);
+  flags_[name] = Flag{std::move(help), str_printf("%g", def), false,
+                      [slot](std::string_view v) {
+                        char* end = nullptr;
+                        const std::string s(v);
+                        *slot = std::strtod(s.c_str(), &end);
+                        return end == s.c_str() + s.size() && !s.empty();
+                      }};
+  return slot;
+}
+
+bool* FlagSet::add_bool(std::string name, bool def, std::string help) {
+  bool* slot = &(bools_[name] = def);
+  flags_[name] = Flag{std::move(help), def ? "true" : "false", true,
+                      [slot](std::string_view v) {
+                        if (v == "true" || v == "1" || v.empty()) { *slot = true; return true; }
+                        if (v == "false" || v == "0") { *slot = false; return true; }
+                        return false;
+                      }};
+  return slot;
+}
+
+std::string* FlagSet::add_string(std::string name, std::string def, std::string help) {
+  std::string* slot = &(strings_[name] = std::move(def));
+  flags_[name] = Flag{std::move(help), *slot, false,
+                      [slot](std::string_view v) { *slot = std::string(v); return true; }};
+  return slot;
+}
+
+Status FlagSet::set_flag(std::string_view name, std::string_view value) {
+  const auto it = flags_.find(std::string(name));
+  if (it == flags_.end()) return error(Errc::invalid, "unknown flag --" + std::string(name));
+  if (!it->second.set(value)) {
+    return error(Errc::invalid,
+                 "bad value '" + std::string(value) + "' for flag --" + std::string(name));
+  }
+  return Status::Ok();
+}
+
+Status FlagSet::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (!arg.starts_with("--")) return error(Errc::invalid, "unexpected arg " + std::string(arg));
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      TIO_RETURN_IF_ERROR(set_flag(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    // --no-name for bools.
+    if (arg.starts_with("no-")) {
+      const auto it = flags_.find(std::string(arg.substr(3)));
+      if (it != flags_.end() && it->second.is_bool) {
+        TIO_RETURN_IF_ERROR(set_flag(arg.substr(3), "false"));
+        continue;
+      }
+    }
+    const auto it = flags_.find(std::string(arg));
+    if (it != flags_.end() && it->second.is_bool) {
+      TIO_RETURN_IF_ERROR(set_flag(arg, "true"));
+      continue;
+    }
+    if (i + 1 >= argc) return error(Errc::invalid, "missing value for --" + std::string(arg));
+    TIO_RETURN_IF_ERROR(set_flag(arg, argv[++i]));
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::usage() const {
+  std::string out = help_;
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  for (const auto& [name, f] : flags_) {
+    out += str_printf("  --%-24s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                      f.default_repr.c_str());
+  }
+  return out;
+}
+
+}  // namespace tio

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tio {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_help = "") : help_(std::move(program_help)) {}
+
+  int64_t* add_i64(std::string name, int64_t def, std::string help);
+  double* add_f64(std::string name, double def, std::string help);
+  bool* add_bool(std::string name, bool def, std::string help);
+  std::string* add_string(std::string name, std::string def, std::string help);
+
+  // Parses argv (skipping argv[0]). On "--help", prints usage and exits 0.
+  Status parse(int argc, char** argv);
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    std::function<bool(std::string_view)> set;  // returns false on parse error
+  };
+  Status set_flag(std::string_view name, std::string_view value);
+
+  std::string help_;
+  std::map<std::string, Flag> flags_;
+  // Owned storage; std::map nodes are pointer-stable.
+  std::map<std::string, int64_t> i64s_;
+  std::map<std::string, double> f64s_;
+  std::map<std::string, bool> bools_;
+  std::map<std::string, std::string> strings_;
+};
+
+}  // namespace tio

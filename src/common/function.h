@@ -1,0 +1,42 @@
+// Move-only type-erased callable (std::move_only_function is C++23; we build
+// on C++20). Used for simulator events, which capture move-only state such
+// as coroutine tasks.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace tio {
+
+template <typename Sig>
+class MoveFn;
+
+template <typename R, typename... Args>
+class MoveFn<R(Args...)> {
+ public:
+  MoveFn() = default;
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, MoveFn>)
+  MoveFn(F&& f) : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  MoveFn(MoveFn&&) noexcept = default;
+  MoveFn& operator=(MoveFn&&) noexcept = default;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+  R operator()(Args... args) { return impl_->call(std::forward<Args>(args)...); }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R call(Args... args) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    R call(Args... args) override { return fn(std::forward<Args>(args)...); }
+    F fn;
+  };
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace tio

@@ -1,0 +1,36 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace tio {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("TIO_LOG");
+  if (env == nullptr) return LogLevel::warn;
+  const std::string_view v(env);
+  if (v == "debug") return LogLevel::debug;
+  if (v == "info") return LogLevel::info;
+  if (v == "warn") return LogLevel::warn;
+  if (v == "error") return LogLevel::error;
+  if (v == "off") return LogLevel::off;
+  return LogLevel::warn;
+}
+
+LogLevel g_level = initial_level();
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"D", "I", "W", "E"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::fprintf(stderr, "[%s] %s\n", kNames[idx], msg.c_str());
+}
+
+}  // namespace tio

@@ -1,0 +1,27 @@
+// Minimal leveled logging to stderr. Off by default in tests and benches;
+// enable with TIO_LOG=debug|info|warn in the environment or set_level().
+#pragma once
+
+#include <string>
+
+#include "common/strutil.h"  // str_printf, used by the TIO_LOG macros
+
+namespace tio {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+#define TIO_LOG(level, ...)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::tio::log_level())) \
+      ::tio::log_message(level, ::tio::str_printf(__VA_ARGS__));         \
+  } while (0)
+
+#define TIO_DEBUG(...) TIO_LOG(::tio::LogLevel::debug, __VA_ARGS__)
+#define TIO_INFO(...) TIO_LOG(::tio::LogLevel::info, __VA_ARGS__)
+#define TIO_WARN(...) TIO_LOG(::tio::LogLevel::warn, __VA_ARGS__)
+
+}  // namespace tio

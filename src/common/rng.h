@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation (SplitMix64 + xoshiro256**).
+//
+// Every stochastic choice in the simulator flows through an Rng seeded from
+// the run configuration, so simulations are exactly reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tio {
+
+// Stateless 64-bit mix; also used as the content function for pattern
+// buffers and for static federation hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    std::uint64_t x = seed;
+    for (auto& w : s_) w = (x = splitmix64(x));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Unbiased enough for simulation (n << 2^64).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  // Uniform in [lo, hi].
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  bool chance(double p) { return uniform() < p; }
+
+  // Child generator with an independent stream; used to give every simulated
+  // rank / server its own deterministic stream.
+  Rng fork(std::uint64_t stream) const {
+    return Rng(hash_combine(s_[0] ^ s_[3], stream));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace tio

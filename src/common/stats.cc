@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tio {
+
+double Series::sum() const {
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s;
+}
+
+double Series::mean() const {
+  if (xs_.empty()) throw std::logic_error("Series::mean on empty series");
+  return sum() / static_cast<double>(xs_.size());
+}
+
+double Series::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double Series::min() const {
+  if (xs_.empty()) throw std::logic_error("Series::min on empty series");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Series::max() const {
+  if (xs_.empty()) throw std::logic_error("Series::max on empty series");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Series::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("Series::percentile on empty series");
+  std::vector<double> s = xs_;
+  std::sort(s.begin(), s.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(s.size())));
+  return s[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace tio

@@ -1,0 +1,27 @@
+// Sample statistics for benchmark reporting (mean, stddev, percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tio {
+
+class Series {
+ public:
+  void add(double v) { xs_.push_back(v); }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double stddev() const;  // sample stddev (n-1); 0 for n < 2
+  double min() const;
+  double max() const;
+  // Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace tio

@@ -1,0 +1,87 @@
+// Byte-size and virtual-time units used throughout the library.
+//
+// Simulated time is kept in integer nanoseconds so that event ordering is
+// exact and runs are bit-reproducible; conversions to floating-point seconds
+// happen only at reporting boundaries.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace tio {
+
+inline namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+constexpr std::uint64_t operator""_TiB(unsigned long long v) { return v << 40; }
+// Decimal units, used for network/disk rates quoted in vendor terms.
+constexpr std::uint64_t operator""_KB(unsigned long long v) { return v * 1000ull; }
+constexpr std::uint64_t operator""_MB(unsigned long long v) { return v * 1000000ull; }
+constexpr std::uint64_t operator""_GB(unsigned long long v) { return v * 1000000000ull; }
+}  // namespace literals
+
+// A span of virtual time. Negative durations are representable but the
+// simulator never schedules into the past.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration ns(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1000000}; }
+  static constexpr Duration sec(std::int64_t v) { return Duration{v * 1000000000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t to_ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  constexpr Duration& operator+=(Duration b) { ns_ += b.ns_; return *this; }
+  constexpr Duration& operator-=(Duration b) { ns_ -= b.ns_; return *this; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+// An absolute point on the virtual clock (ns since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t v) { return TimePoint{v}; }
+  constexpr std::int64_t to_ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ + d.to_ns()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::ns(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+// Time to move `bytes` at `bytes_per_sec`, rounded up to at least 1 ns for
+// nonzero transfers so progress is always made.
+constexpr Duration transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return Duration::zero();
+  const double s = static_cast<double>(bytes) / bytes_per_sec;
+  const auto d = Duration::seconds(s);
+  return d > Duration::zero() ? d : Duration::ns(1);
+}
+
+}  // namespace tio

@@ -1,0 +1,239 @@
+#include "iolib/collective_buffer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "pfs/extent_map.h"
+
+namespace tio::iolib {
+
+namespace {
+
+constexpr int kCbTagBase = 1000;  // user-tag space reserved for cb replies
+
+struct Extent {
+  std::uint64_t lo = ~0ull;
+  std::uint64_t hi = 0;
+};
+
+sim::Task<Extent> global_extent(mpi::Comm& comm, Extent mine) {
+  co_return co_await comm.allreduce(mine, 16, [](Extent a, Extent b) {
+    return Extent{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+  });
+}
+
+// Domain of aggregator j: an even split of [lo, hi).
+std::pair<std::uint64_t, std::uint64_t> domain_of(const Extent& e, int j, int num) {
+  const std::uint64_t span = e.hi - e.lo;
+  const std::uint64_t start = e.lo + span * static_cast<std::uint64_t>(j) / num;
+  const std::uint64_t end = e.lo + span * (static_cast<std::uint64_t>(j) + 1) / num;
+  return {start, end};
+}
+
+// Splits [offset, offset+len) across aggregator domains, invoking
+// fn(j, piece_offset, piece_len) for each piece in order.
+template <typename Fn>
+void split_over_domains(const Extent& ext, int num_aggs, std::uint64_t offset,
+                        std::uint64_t len, Fn&& fn) {
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + len;
+  while (pos < end) {
+    int j = static_cast<int>(static_cast<unsigned __int128>(pos - ext.lo) * num_aggs /
+                             (ext.hi - ext.lo));
+    j = std::min(j, num_aggs - 1);
+    auto [d_lo, d_hi] = domain_of(ext, j, num_aggs);
+    while (pos >= d_hi && j + 1 < num_aggs) {  // guard integer-division edges
+      ++j;
+      std::tie(d_lo, d_hi) = domain_of(ext, j, num_aggs);
+    }
+    const std::uint64_t take = std::min(end, d_hi) - pos;
+    fn(j, pos, take);
+    pos += take;
+  }
+}
+
+}  // namespace
+
+int cb_aggregator_rank(int j, int num_aggregators, int comm_size) {
+  return static_cast<int>(static_cast<std::int64_t>(j) * comm_size / num_aggregators);
+}
+
+int cb_num_aggregators(const CbConfig& config, const mpi::Comm& comm) {
+  if (config.aggregators > 0) return std::min(config.aggregators, comm.size());
+  const auto per_node =
+      static_cast<int>(comm.runtime().cluster().config().cores_per_node);
+  return std::max(1, comm.size() / std::max(1, per_node));
+}
+
+sim::Task<Status> cb_write(mpi::Comm& comm, const CbConfig& config, std::vector<CbChunk> mine,
+                           const WriteFn& write_at) {
+  Extent local;
+  for (const auto& c : mine) {
+    local.lo = std::min(local.lo, c.offset);
+    local.hi = std::max(local.hi, c.offset + c.data.size());
+  }
+  const Extent ext = co_await global_extent(comm, local);
+  if (ext.hi <= ext.lo) {
+    co_await comm.barrier();
+    co_return Status::Ok();
+  }
+  const int num_aggs = cb_num_aggregators(config, comm);
+
+  // Split my chunks across aggregator domains.
+  std::vector<std::vector<CbChunk>> outgoing(num_aggs);
+  for (auto& c : mine) {
+    split_over_domains(ext, num_aggs, c.offset, c.data.size(),
+                       [&](int j, std::uint64_t pos, std::uint64_t take) {
+                         outgoing[j].push_back(
+                             CbChunk{pos, c.data.slice(pos - c.offset, take)});
+                       });
+  }
+
+  // Phase 1: ship records to their aggregators (one gather per aggregator).
+  pfs::ExtentMap staged;
+  bool i_aggregate = false;
+  for (int j = 0; j < num_aggs; ++j) {
+    const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+    std::uint64_t bytes = 0;
+    for (const auto& c : outgoing[j]) bytes += c.data.size() + 16;
+    auto gathered = co_await comm.gather(root, std::move(outgoing[j]), bytes);
+    if (comm.rank() == root) {
+      i_aggregate = true;
+      for (auto& per_rank : gathered) {
+        for (auto& c : per_rank) staged.write(c.offset, std::move(c.data));
+      }
+    }
+  }
+
+  // Phase 2: aggregators issue large contiguous writes, capped at
+  // buffer_bytes per operation.
+  if (i_aggregate) {
+    for (const auto& [off, view] : staged.extents()) {
+      std::uint64_t pos = 0;
+      while (pos < view.size()) {
+        const std::uint64_t take = std::min<std::uint64_t>(config.buffer_bytes,
+                                                           view.size() - pos);
+        TIO_CO_RETURN_IF_ERROR(co_await write_at(off + pos, view.slice(pos, take)));
+        pos += take;
+      }
+    }
+  }
+  co_await comm.barrier();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<CbRange> wants,
+                          const ReadFn& read_at, std::vector<FragmentList>* out) {
+  out->assign(wants.size(), FragmentList{});
+  Extent local;
+  for (const auto& w : wants) {
+    local.lo = std::min(local.lo, w.offset);
+    local.hi = std::max(local.hi, w.offset + w.len);
+  }
+  const Extent ext = co_await global_extent(comm, local);
+  if (ext.hi <= ext.lo) {
+    co_await comm.barrier();
+    co_return Status::Ok();
+  }
+  const int num_aggs = cb_num_aggregators(config, comm);
+
+  // A request piece as shipped to an aggregator.
+  struct Piece {
+    std::uint32_t want;  // index into the requester's `wants`
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+  std::vector<std::vector<Piece>> outgoing(num_aggs);
+  for (std::uint32_t i = 0; i < wants.size(); ++i) {
+    split_over_domains(ext, num_aggs, wants[i].offset, wants[i].len,
+                       [&](int j, std::uint64_t pos, std::uint64_t take) {
+                         outgoing[j].push_back(Piece{i, pos, take});
+                       });
+  }
+  // Which aggregators will reply to me, in j order.
+  std::vector<int> reply_from;
+  for (int j = 0; j < num_aggs; ++j) {
+    if (!outgoing[j].empty()) reply_from.push_back(j);
+  }
+
+  // Phase 1: gather request pieces per aggregator.
+  struct Reply {
+    std::vector<std::pair<Piece, FragmentList>> pieces;
+  };
+  for (int j = 0; j < num_aggs; ++j) {
+    const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+    const std::uint64_t bytes = outgoing[j].size() * 24;
+    auto gathered = co_await comm.gather(root, std::move(outgoing[j]), bytes);
+    if (comm.rank() != root) continue;
+
+    // Aggregator: merge requested ranges, read each merged run once
+    // (capped at buffer_bytes), then slice replies per requester.
+    std::map<std::uint64_t, std::uint64_t> runs;  // start -> end (union)
+    for (const auto& per_rank : gathered) {
+      for (const auto& p : per_rank) {
+        const std::uint64_t s = p.offset;
+        const std::uint64_t e = p.offset + p.len;
+        auto it = runs.lower_bound(s);
+        if (it != runs.begin() && std::prev(it)->second >= s) --it;
+        std::uint64_t ns = s;
+        std::uint64_t ne = e;
+        while (it != runs.end() && it->first <= ne) {
+          ns = std::min(ns, it->first);
+          ne = std::max(ne, it->second);
+          it = runs.erase(it);
+        }
+        runs[ns] = ne;
+      }
+    }
+    pfs::ExtentMap staged;
+    for (const auto& [s, e] : runs) {
+      std::uint64_t pos = s;
+      while (pos < e) {
+        const std::uint64_t take = std::min<std::uint64_t>(config.buffer_bytes, e - pos);
+        auto data = co_await read_at(pos, take);
+        if (!data.ok()) co_return data.status();
+        std::uint64_t at = pos;
+        for (const auto& frag : data->fragments()) {
+          staged.write(at, frag);
+          at += frag.size();
+        }
+        // Short read (EOF): the remainder stays as holes (zeros).
+        pos += take;
+      }
+    }
+    for (int r = 0; r < comm.size(); ++r) {
+      if (gathered[r].empty()) continue;
+      Reply reply;
+      for (const auto& p : gathered[r]) {
+        reply.pieces.emplace_back(p, staged.read(p.offset, p.len));
+      }
+      std::uint64_t reply_bytes = 0;
+      for (const auto& [p, fl] : reply.pieces) reply_bytes += fl.size();
+      co_await comm.send(r, kCbTagBase + j, std::move(reply), reply_bytes);
+    }
+  }
+
+  // Phase 2: requesters collect replies and reassemble in request order.
+  std::vector<std::vector<std::pair<Piece, FragmentList>>> by_want(wants.size());
+  for (const int j : reply_from) {
+    const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+    auto reply = co_await comm.recv<Reply>(root, kCbTagBase + j);
+    for (auto& [p, fl] : reply.pieces) {
+      by_want[p.want].emplace_back(p, std::move(fl));
+    }
+  }
+  for (std::uint32_t i = 0; i < wants.size(); ++i) {
+    auto& pieces = by_want[i];
+    std::sort(pieces.begin(), pieces.end(),
+              [](const auto& a, const auto& b) { return a.first.offset < b.first.offset; });
+    for (auto& [p, fl] : pieces) {
+      for (const auto& frag : fl.fragments()) (*out)[i].append(frag);
+      // Zero-pad pieces the aggregator could not fully satisfy.
+      if (fl.size() < p.len) (*out)[i].append(DataView::zeros(p.len - fl.size()));
+    }
+  }
+  co_await comm.barrier();
+  co_return Status::Ok();
+}
+
+}  // namespace tio::iolib

@@ -1,0 +1,58 @@
+// ROMIO-style two-phase collective buffering.
+//
+// The paper's LANL 3 kernel writes 1 KiB records; issued directly, those
+// would drown any file system. Collective buffering (Thakur et al.,
+// "Data sieving and collective I/O in ROMIO") assigns each aggregator
+// process a contiguous file domain, ships everyone's records to the owning
+// aggregators over the (fast, otherwise idle) interconnect, and has the
+// aggregators issue large contiguous file accesses.
+//
+// Writes: records are gathered to aggregators, coalesced in an extent map,
+// and written in runs capped at `buffer_bytes`. Reads: requests are
+// gathered, aggregators read merged ranges once, and slices are returned to
+// the requesters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iolib/io_fn.h"
+#include "mpisim/comm.h"
+
+namespace tio::iolib {
+
+struct CbConfig {
+  // Number of aggregator processes (0 = one per ~cores_per_node ranks,
+  // i.e. roughly one per node under block placement).
+  int aggregators = 0;
+  // Largest contiguous access an aggregator issues per file operation.
+  std::uint64_t buffer_bytes = 4u << 20;
+};
+
+struct CbChunk {
+  std::uint64_t offset = 0;
+  DataView data;
+};
+
+struct CbRange {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  friend bool operator==(const CbRange&, const CbRange&) = default;
+};
+
+// Collective: all ranks call with their (possibly empty) chunk lists.
+// `write_at` is only invoked on aggregator ranks.
+sim::Task<Status> cb_write(mpi::Comm& comm, const CbConfig& config, std::vector<CbChunk> mine,
+                           const WriteFn& write_at);
+
+// Collective: satisfies each rank's `wants` (results returned in request
+// order through `out`). `read_at` is only invoked on aggregator ranks.
+sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<CbRange> wants,
+                          const ReadFn& read_at, std::vector<FragmentList>* out);
+
+// The aggregator rank for domain slot j of A (evenly spread over the comm,
+// which lands them on distinct nodes under block placement).
+int cb_aggregator_rank(int j, int num_aggregators, int comm_size);
+int cb_num_aggregators(const CbConfig& config, const mpi::Comm& comm);
+
+}  // namespace tio::iolib

@@ -1,0 +1,19 @@
+// Function-typed I/O hooks that decouple the formatting libraries and the
+// collective-buffering layer from any particular file abstraction (PLFS
+// MpiFile, direct PFS handle, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/dataview.h"
+#include "common/status.h"
+#include "sim/task.h"
+
+namespace tio::iolib {
+
+using WriteFn = std::function<sim::Task<Status>(std::uint64_t offset, DataView data)>;
+using ReadFn =
+    std::function<sim::Task<Result<FragmentList>>(std::uint64_t offset, std::uint64_t len)>;
+
+}  // namespace tio::iolib

@@ -1,0 +1,51 @@
+// TinyHDF: a miniature HDF5-like formatting layer.
+//
+// Reproduces the pattern HDF5 imposes on applications such as the ARAMCO
+// seismic kernel (paper Section IV-D2): a superblock, a chunked dataset,
+// and — crucially — a scattered region of small per-chunk metadata records
+// (the B-tree) interleaved with large chunk writes. Writers touch both the
+// chunk data and the chunk's metadata record; readers walk the metadata to
+// find their chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iolib/io_fn.h"
+#include "mpisim/comm.h"
+
+namespace tio::iolib {
+
+class TinyHdf {
+ public:
+  static constexpr std::uint64_t kSuperblockBytes = 2048;
+  static constexpr std::uint64_t kChunkRecordBytes = 64;
+  static constexpr std::uint32_t kMagic = 0x31464854;  // "THF1"
+
+  struct Layout {
+    std::uint64_t chunk_bytes = 0;
+    std::uint64_t num_chunks = 0;
+    std::uint64_t btree_offset = 0;  // chunk records live here
+    std::uint64_t data_offset = 0;   // chunk data starts here
+    std::uint64_t file_bytes = 0;
+    friend bool operator==(const Layout&, const Layout&) = default;
+  };
+  static Layout layout_for(std::uint64_t dataset_bytes, std::uint64_t chunk_bytes);
+
+  // Chunk ownership: chunk c belongs to rank c % nprocs.
+  // Collective write of the whole dataset: rank 0 writes the superblock;
+  // each rank writes its chunks' data and metadata records.
+  static sim::Task<Status> write_all(mpi::Comm& comm, const WriteFn& write,
+                                     std::uint64_t dataset_bytes, std::uint64_t chunk_bytes,
+                                     std::uint64_t seed);
+  // Collective read of the whole dataset (strong scaling: any process count
+  // may read a file written by another count). Rank 0 parses the
+  // superblock; each rank reads its chunks' records + data.
+  static sim::Task<Status> read_all(mpi::Comm& comm, const ReadFn& read, std::uint64_t seed,
+                                    bool verify, Layout* layout_out = nullptr);
+
+  static std::vector<std::byte> serialize_superblock(const Layout& layout);
+  static Result<Layout> parse_superblock(const FragmentList& data);
+};
+
+}  // namespace tio::iolib

@@ -1,0 +1,49 @@
+// TinyNC: a miniature Parallel-NetCDF-like formatting layer.
+//
+// Reproduces the access-pattern shape that pnetcdf imposes on applications
+// such as Pixie3D (paper Section IV-D1): a small header written by rank 0,
+// followed by fixed-size record variables laid out contiguously, each rank
+// writing/reading its own slab of every variable. The header is real bytes:
+// read_all parses what write_all serialized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iolib/io_fn.h"
+#include "mpisim/comm.h"
+
+namespace tio::iolib {
+
+struct NcVar {
+  std::string name;               // <= 23 chars
+  std::uint64_t bytes_per_proc;   // slab size per process
+};
+
+class TinyNc {
+ public:
+  static constexpr std::uint64_t kHeaderBytes = 4096;
+  static constexpr std::uint32_t kMagic = 0x31434e54;  // "TNC1"
+
+  // Total file size for a given process count.
+  static std::uint64_t total_bytes(int nprocs, const std::vector<NcVar>& vars);
+  // Absolute offset of rank's slab of variable v.
+  static std::uint64_t slab_offset(int rank, int nprocs, const std::vector<NcVar>& vars,
+                                   std::size_t v);
+
+  // Collective define+write: rank 0 writes the header; every rank writes its
+  // slab of every variable with pattern(seed, absolute offset) content.
+  static sim::Task<Status> write_all(mpi::Comm& comm, const WriteFn& write,
+                                     std::vector<NcVar> vars, std::uint64_t seed);
+  // Collective read: rank 0 reads and parses the header and broadcasts the
+  // variable table; each rank reads its slabs, verifying content when
+  // `verify` is set. The parsed schema is returned through `vars_out` when
+  // non-null.
+  static sim::Task<Status> read_all(mpi::Comm& comm, const ReadFn& read, std::uint64_t seed,
+                                    bool verify, std::vector<NcVar>* vars_out = nullptr);
+
+  static std::vector<std::byte> serialize_header(const std::vector<NcVar>& vars);
+  static Result<std::vector<NcVar>> parse_header(const FragmentList& data);
+};
+
+}  // namespace tio::iolib

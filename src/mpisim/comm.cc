@@ -1,0 +1,72 @@
+#include "mpisim/comm.h"
+
+#include <algorithm>
+
+namespace tio::mpi {
+
+Comm Comm::world(Runtime& rt, int rank) {
+  auto group = std::make_shared<Group>();
+  group->context = 1;
+  group->members.resize(rt.nprocs());
+  for (int i = 0; i < rt.nprocs(); ++i) group->members[i] = i;
+  return Comm(rt, std::move(group), rank);
+}
+
+sim::Task<void> Comm::send_any(int dest, int tag, std::any payload, std::uint64_t bytes) {
+  check_rank(dest);
+  co_await engine().sleep(rt_->send_overhead());
+  co_await rt_->cluster().fabric_transfer(my_node(), rt_->node_of(group_->members[dest]), bytes);
+  rt_->mailbox({group_->context, dest, my_index_, tag}).push(std::move(payload));
+}
+
+sim::Task<std::any> Comm::recv_any(int src, int tag) {
+  check_rank(src);
+  const Runtime::MailboxKey key{group_->context, my_index_, src, tag};
+  std::any payload = co_await rt_->mailbox(key).pop();
+  rt_->gc_mailbox(key);
+  co_return payload;
+}
+
+sim::Task<void> Comm::barrier() {
+  const int tag = next_op_tag();
+  const int n = size();
+  // Dissemination barrier: ceil(log2 n) rounds of shifted exchanges.
+  for (int round = 0, dist = 1; dist < n; ++round, dist <<= 1) {
+    const int to = (rank() + dist) % n;
+    const int from = (rank() - dist + n) % n;
+    co_await send_any(to, tag + round, std::any(0), 8);
+    (void)co_await recv_any(from, tag + round);
+  }
+}
+
+sim::Task<Comm> Comm::split(int color, int key) {
+  // Everyone learns everyone's (color, key); groups are formed identically
+  // on every rank without further communication.
+  struct Entry {
+    int color;
+    int key;
+  };
+  auto entries = co_await allgather(Entry{color, key}, sizeof(Entry));
+  std::vector<std::pair<std::pair<int, int>, int>> mine;  // ((key, rank), comm rank)
+  for (int r = 0; r < size(); ++r) {
+    if (entries[r].color == color) mine.push_back({{entries[r].key, r}, r});
+  }
+  std::sort(mine.begin(), mine.end());
+  auto group = std::make_shared<Group>();
+  // Context derivation must be collision-free across sibling subcomms or
+  // their mailboxes cross-talk: pack (op, color) injectively, then mix the
+  // whole thing through splitmix64 (hash_combine alone has systematic
+  // collisions between adjacent op counters).
+  const std::uint64_t packed = (static_cast<std::uint64_t>(op_counter_) << 32) ^
+                               static_cast<std::uint32_t>(color);
+  group->context =
+      splitmix64(group_->context ^ splitmix64(packed ^ 0x9e3779b97f4a7c15ull));
+  int my_index = -1;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    group->members.push_back(group_->members[mine[i].second]);
+    if (mine[i].second == rank()) my_index = static_cast<int>(i);
+  }
+  co_return Comm(*rt_, std::move(group), my_index);
+}
+
+}  // namespace tio::mpi

@@ -1,0 +1,38 @@
+#include "mpisim/runtime.h"
+
+#include <stdexcept>
+
+#include "mpisim/comm.h"
+
+namespace tio::mpi {
+
+Runtime::Runtime(net::Cluster& cluster, int nprocs) : cluster_(cluster), nprocs_(nprocs) {
+  if (nprocs <= 0) throw std::invalid_argument("Runtime: nprocs must be positive");
+}
+
+std::size_t Runtime::node_of(int rank) const {
+  const auto& cfg = cluster_.config();
+  return (static_cast<std::size_t>(rank) / cfg.cores_per_node) % cfg.nodes;
+}
+
+sim::Queue<std::any>& Runtime::mailbox(const MailboxKey& key) {
+  auto& slot = mailboxes_[key];
+  if (!slot) slot = std::make_unique<sim::Queue<std::any>>(engine());
+  return *slot;
+}
+
+void Runtime::gc_mailbox(const MailboxKey& key) {
+  const auto it = mailboxes_.find(key);
+  if (it != mailboxes_.end() && it->second->idle()) mailboxes_.erase(it);
+}
+
+void run_spmd(net::Cluster& cluster, int nprocs,
+              const std::function<sim::Task<void>(Comm)>& rank_main) {
+  Runtime rt(cluster, nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    cluster.engine().spawn(rank_main(Comm::world(rt, r)));
+  }
+  cluster.engine().run();
+}
+
+}  // namespace tio::mpi

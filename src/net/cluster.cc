@@ -1,0 +1,45 @@
+#include "net/cluster.h"
+
+#include <stdexcept>
+
+#include "common/strutil.h"
+
+namespace tio::net {
+
+Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
+    : engine_(engine), config_(config) {
+  if (config_.nodes == 0) throw std::invalid_argument("Cluster: zero nodes");
+  nic_out_.reserve(config_.nodes);
+  nic_in_.reserve(config_.nodes);
+  caches_.reserve(config_.nodes);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    nic_out_.push_back(std::make_unique<sim::FairShareChannel>(
+        engine_, config_.nic_bandwidth, config_.nic_bandwidth,
+        str_printf("nic-out-%zu", n)));
+    nic_in_.push_back(std::make_unique<sim::FairShareChannel>(
+        engine_, config_.nic_bandwidth, config_.nic_bandwidth,
+        str_printf("nic-in-%zu", n)));
+    caches_.push_back(std::make_unique<PageCache>(config_.page_cache_per_node,
+                                                  config_.page_cache_block));
+  }
+  storage_net_ = std::make_unique<sim::FairShareChannel>(
+      engine_, config_.storage_net_bandwidth, config_.storage_nic_bandwidth,
+      "storage-net");
+}
+
+sim::Task<void> Cluster::fabric_transfer(std::size_t from_node, std::size_t to_node,
+                                         std::uint64_t bytes) {
+  if (from_node >= config_.nodes || to_node >= config_.nodes) {
+    throw std::out_of_range("Cluster::fabric_transfer: bad node index");
+  }
+  if (from_node == to_node) {
+    // Shared-memory transport: latency only, no NIC involvement.
+    co_await engine_.sleep(config_.fabric_latency / 4);
+    co_return;
+  }
+  co_await nic_out_[from_node]->transfer(bytes);
+  co_await engine_.sleep(config_.fabric_latency);
+  co_await nic_in_[to_node]->transfer(bytes);
+}
+
+}  // namespace tio::net

@@ -1,0 +1,77 @@
+// Compute-cluster model: nodes, the high-speed interconnect fabric, the
+// (much slower) shared storage network, and per-node page caches.
+//
+// The paper's central resource asymmetry — an InfiniBand/Gemini fabric that
+// is largely idle during I/O phases versus a thin 10GigE storage network —
+// is what transformative middleware exploits, so the two networks are
+// modeled as separate resources:
+//   * fabric: per-node full-duplex NICs (fair-shared) + per-hop latency,
+//     store-and-forward (sender uplink, then latency, then receiver
+//     downlink). Simple, deterministic, adequate for collective algorithms.
+//   * storage network: one global fair-share pipe with a per-stream cap at
+//     the node's storage NIC rate (the 1.25 GB/s "theoretical peak").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/page_cache.h"
+#include "sim/engine.h"
+#include "sim/fairshare.h"
+#include "sim/task.h"
+
+namespace tio::net {
+
+struct ClusterConfig {
+  std::size_t nodes = 64;
+  std::size_t cores_per_node = 16;
+  std::uint64_t memory_per_node = 32_GiB;
+
+  // Interconnect (IB / Gemini class).
+  double nic_bandwidth = 2.0e9;                       // bytes/s per direction
+  Duration fabric_latency = Duration::us(2);
+
+  // Storage network (10GigE class).
+  double storage_net_bandwidth = 1.25e9;              // aggregate bytes/s
+  double storage_nic_bandwidth = 1.25e9;              // per-stream cap
+  Duration storage_net_latency = Duration::us(60);
+
+  // Page cache devoted to file data per node.
+  std::uint64_t page_cache_per_node = 8_GiB;
+  std::uint64_t page_cache_block = 256_KiB;
+  double page_cache_bandwidth = 4.0e9;                // cached-read service rate
+
+  std::size_t total_cores() const { return nodes * cores_per_node; }
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  sim::Engine& engine() { return engine_; }
+  std::size_t nodes() const { return config_.nodes; }
+
+  // One fabric message from node to node (intra-node messages cost only a
+  // reduced latency). The awaiting process is blocked for the full
+  // store-and-forward time, like a blocking MPI send-receive pair.
+  sim::Task<void> fabric_transfer(std::size_t from_node, std::size_t to_node,
+                                  std::uint64_t bytes);
+
+  sim::FairShareChannel& storage_net() { return *storage_net_; }
+  Duration storage_latency() const { return config_.storage_net_latency; }
+  PageCache& page_cache(std::size_t node) { return *caches_[node]; }
+  double cached_read_rate() const { return config_.page_cache_bandwidth; }
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<sim::FairShareChannel>> nic_out_;
+  std::vector<std::unique_ptr<sim::FairShareChannel>> nic_in_;
+  std::unique_ptr<sim::FairShareChannel> storage_net_;
+  std::vector<std::unique_ptr<PageCache>> caches_;
+};
+
+}  // namespace tio::net

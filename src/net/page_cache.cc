@@ -1,0 +1,89 @@
+#include <algorithm>
+#include "net/page_cache.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace tio::net {
+
+std::size_t PageCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<std::size_t>(hash_combine(k.object, k.block));
+}
+
+PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
+    : capacity_(capacity_bytes), block_(block_bytes) {
+  if (block_ == 0) throw std::invalid_argument("PageCache: zero block size");
+  max_blocks_ = capacity_ / block_;
+}
+
+void PageCache::touch(std::uint64_t object, std::uint64_t block) {
+  const Key key{object, block};
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (max_blocks_ == 0) return;
+  while (map_.size() >= max_blocks_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+}
+
+void PageCache::fill(std::uint64_t object, std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = offset / block_;
+  const std::uint64_t last = (offset + len - 1) / block_;
+  for (std::uint64_t b = first; b <= last; ++b) touch(object, b);
+}
+
+std::uint64_t PageCache::lookup(std::uint64_t object, std::uint64_t offset, std::uint64_t len,
+                                std::vector<ByteRange>* misses) {
+  if (len == 0) return 0;
+  std::uint64_t hit = 0;
+  const std::uint64_t first = offset / block_;
+  const std::uint64_t last = (offset + len - 1) / block_;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    const auto it = map_.find(Key{object, b});
+    const std::uint64_t block_start = b * block_;
+    const std::uint64_t lo = std::max(offset, block_start);
+    const std::uint64_t hi = std::min(offset + len, block_start + block_);
+    if (it != map_.end()) {
+      hit += hi - lo;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      stats_.hit_bytes += hi - lo;
+    } else {
+      stats_.miss_bytes += hi - lo;
+      if (misses != nullptr) {
+        if (!misses->empty() && misses->back().offset + misses->back().len == lo) {
+          misses->back().len += hi - lo;  // coalesce adjacent missed blocks
+        } else {
+          misses->push_back(ByteRange{lo, hi - lo});
+        }
+      }
+    }
+  }
+  return hit;
+}
+
+void PageCache::invalidate_object(std::uint64_t object) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->object == object) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace tio::net

@@ -1,0 +1,67 @@
+// Per-node page cache model: block-granular LRU over (object, block) keys.
+//
+// Only residency is tracked, never content — content always comes from the
+// file system's extent maps, so a cache hit changes timing, not data.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace tio::net {
+
+struct ByteRange {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+class PageCache {
+ public:
+  PageCache(std::uint64_t capacity_bytes, std::uint64_t block_bytes);
+
+  // Marks the blocks covering [offset, offset+len) of `object` resident
+  // (called on write and on read-miss fill).
+  void fill(std::uint64_t object, std::uint64_t offset, std::uint64_t len);
+
+  // Returns the number of bytes of [offset, offset+len) served by cache and
+  // refreshes LRU for the hit blocks. When `misses` is non-null, the
+  // coalesced uncached sub-ranges are appended to it.
+  std::uint64_t lookup(std::uint64_t object, std::uint64_t offset, std::uint64_t len,
+                       std::vector<ByteRange>* misses = nullptr);
+
+  // Drops every block of `object` (e.g. on unlink).
+  void invalidate_object(std::uint64_t object);
+  void clear();
+
+  std::uint64_t resident_bytes() const { return static_cast<std::uint64_t>(map_.size()) * block_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t hit_bytes = 0;
+    std::uint64_t miss_bytes = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    std::uint64_t object;
+    std::uint64_t block;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  void touch(std::uint64_t object, std::uint64_t block);
+
+  std::uint64_t capacity_;
+  std::uint64_t block_;
+  std::uint64_t max_blocks_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace tio::net

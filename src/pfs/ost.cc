@@ -1,0 +1,46 @@
+#include "pfs/ost.h"
+
+#include "common/units.h"
+
+namespace tio::pfs {
+
+sim::Task<void> Ost::io(ObjectId object, std::uint64_t offset, std::uint64_t len, bool is_write) {
+  // Server DRAM absorbs re-reads of hot blocks without touching the arm.
+  if (!is_write && cache_.lookup(object, offset, len) == len) {
+    ++stats_.ops;
+    ++stats_.cache_hits;
+    stats_.bytes += len;
+    co_await engine_.sleep(transfer_time(len, config_.ost_cache_bandwidth));
+    co_return;
+  }
+  co_await arm_.acquire();
+  sim::SemGuard guard(arm_);
+
+  Duration positioning = Duration::zero();
+  if (object == last_object_ && offset == last_end_) {
+    ++stats_.sequential;
+  } else if (object == last_object_ && offset >= last_end_ &&
+             offset - last_end_ <= config_.near_gap) {
+    // Short forward gap within the same object: prefetch/readahead covers it.
+    ++stats_.sequential;
+  } else if (object != last_object_) {
+    positioning = config_.ost_switch_time;
+    ++stats_.switches;
+  } else {
+    positioning = config_.ost_seek_time;
+    ++stats_.seeks;
+  }
+  if (is_write) {
+    positioning = Duration::seconds(positioning.to_seconds() * config_.ost_write_seek_factor);
+  }
+
+  const Duration service = positioning + transfer_time(len, config_.ost_bandwidth);
+  ++stats_.ops;
+  stats_.bytes += len;
+  last_object_ = object;
+  last_end_ = offset + len;
+  cache_.fill(object, offset, len);
+  co_await engine_.sleep(service);
+}
+
+}  // namespace tio::pfs

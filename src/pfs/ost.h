@@ -1,0 +1,55 @@
+// Object storage target: one platter arm with seek/stream behaviour and a
+// sequential-run detector standing in for server-side prefetch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/page_cache.h"
+#include "pfs/config.h"
+#include "pfs/types.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace tio::pfs {
+
+class Ost {
+ public:
+  Ost(sim::Engine& engine, const PfsConfig& config, std::string name)
+      : engine_(engine), config_(config), arm_(engine, 1), name_(std::move(name)),
+        cache_(config.ost_cache_bytes, config.stripe_unit) {}
+
+  // One physical I/O of `len` bytes at `offset` within `object`. Queues for
+  // the arm; seek/switch penalties are decided from the arm's position when
+  // service begins:
+  //   * continuation of the same object's last access (or a short forward
+  //     gap, which prefetch covers) -> streaming, no seek;
+  //   * different object -> object-switch penalty (scheduler-absorbed);
+  //   * same object, random offset -> full seek.
+  sim::Task<void> io(ObjectId object, std::uint64_t offset, std::uint64_t len, bool is_write);
+
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t seeks = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t sequential = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  void drop_cache() { cache_.clear(); }
+
+ private:
+  sim::Engine& engine_;
+  const PfsConfig& config_;
+  sim::Semaphore arm_;
+  std::string name_;
+  net::PageCache cache_;  // server DRAM
+  ObjectId last_object_ = kNoObject;
+  std::uint64_t last_end_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tio::pfs

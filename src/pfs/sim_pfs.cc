@@ -1,0 +1,377 @@
+#include "pfs/sim_pfs.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace tio::pfs {
+
+SimPfs::SimPfs(net::Cluster& cluster, PfsConfig config)
+    : cluster_(cluster), config_(config) {
+  for (std::size_t i = 0; i < config_.num_mds; ++i) {
+    mds_.push_back(std::make_unique<sim::FcfsServer>(engine(), config_.mds_concurrency,
+                                                     str_printf("mds-%zu", i)));
+  }
+  for (std::size_t i = 0; i < config_.num_osts; ++i) {
+    osts_.push_back(std::make_unique<Ost>(engine(), config_, str_printf("ost-%zu", i)));
+  }
+}
+
+std::size_t SimPfs::mds_of_path(std::string_view path) const {
+  const auto comps = path_components(path);
+  if (comps.empty()) return 0;
+  const std::string_view top = comps.front();
+  // Volumes named volK model separately mounted file systems: they map to
+  // metadata servers round-robin, so K volumes on a K-MDS system are
+  // guaranteed disjoint (like PanFS realms). Anything else hashes.
+  if (top.starts_with("vol")) {
+    std::uint64_t k = 0;
+    bool numeric = top.size() > 3;
+    for (const char c : top.substr(3)) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      k = k * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (numeric) return static_cast<std::size_t>(k % config_.num_mds);
+  }
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : top) h = splitmix64(h ^ static_cast<unsigned char>(c));
+  return static_cast<std::size_t>(h % config_.num_mds);
+}
+
+SimPfs::Object& SimPfs::object(ObjectId oid) { return objects_[oid]; }
+
+const ExtentMap* SimPfs::object_extents(ObjectId oid) const {
+  const auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second.data;
+}
+
+Result<SimPfs::OpenFile*> SimPfs::handle(FileId file) {
+  const auto it = open_files_.find(file);
+  if (it == open_files_.end()) return error(Errc::bad_handle, str_printf("fd %llu",
+                                            static_cast<unsigned long long>(file)));
+  return &it->second;
+}
+
+sim::Mutex& SimPfs::dir_mutex(const std::string& dir) {
+  auto& slot = dir_mutexes_[dir];
+  if (!slot) slot = std::make_unique<sim::Mutex>(engine());
+  return *slot;
+}
+
+sim::Task<void> SimPfs::mds_op(std::string_view dir_path, Duration service) {
+  ++stats_.metadata_ops;
+  co_await engine().sleep(config_.rpc_overhead + cluster_.storage_latency());
+  co_await mds_[mds_of_path(dir_path)]->serve(service);
+}
+
+sim::Task<void> SimPfs::dir_mutation(std::string dir_path) {
+  sim::Mutex& mu = dir_mutex(dir_path);
+  co_await mu.lock();
+  const std::uint64_t entries = ns_.dir_entry_count(dir_path);
+  const double degrade =
+      1.0 + static_cast<double>(entries) / static_cast<double>(config_.dir_degrade_entries);
+  const auto service = Duration::seconds(config_.dir_insert_time.to_seconds() * degrade);
+  co_await mds_op(dir_path, service);
+  mu.unlock();
+}
+
+sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags flags) {
+  (void)ctx;
+  if (!flags.read && !flags.write) {
+    co_return error(Errc::invalid, "open needs read or write: " + path);
+  }
+  path = path_normalize(path);
+  const std::string parent(path_dirname(path));
+  ++stats_.opens;
+
+  ObjectId oid = kNoObject;
+  auto existing = ns_.lookup(path);
+  if (existing.ok() && existing->is_dir) {
+    co_await mds_op(parent, config_.mds_open_time);
+    co_return error(Errc::is_a_directory, path);
+  }
+  if (existing.ok()) {
+    if (flags.create && flags.excl) {
+      co_await mds_op(parent, config_.mds_open_time);
+      co_return error(Errc::exists, path);
+    }
+    Object& cached = object(existing->oid);
+    co_await mds_op(parent, cached.dentry_hot ? config_.mds_cached_open_time
+                                              : config_.mds_open_time);
+    cached.dentry_hot = true;
+    oid = existing->oid;
+    if (flags.trunc && flags.write) {
+      Object& o = object(oid);
+      o.data.truncate(0);
+      o.size = 0;
+      o.mtime = engine().now();
+    }
+  } else {
+    if (!flags.create) {
+      co_await mds_op(parent, config_.mds_open_time);
+      co_return error(Errc::not_found, path);
+    }
+    // Creation: serialized insert into the parent directory.
+    if (!ns_.exists(parent)) {
+      co_await mds_op(parent, config_.mds_open_time);
+      co_return error(Errc::not_found, "parent: " + parent);
+    }
+    co_await dir_mutation(parent);
+    co_await mds_op(parent, config_.mds_create_time);
+    auto created = ns_.create_file(path, flags.excl);
+    if (!created.ok()) co_return created.status();
+    oid = created->oid;
+    if (created->created) {
+      ++stats_.creates;
+      Object& o = object(oid);
+      o.mtime = engine().now();
+    }
+  }
+
+  const FileId id = next_file_id_++;
+  open_files_[id] = OpenFile{oid, flags, parent};
+  co_return id;
+}
+
+sim::Task<Status> SimPfs::close(IoCtx ctx, FileId file) {
+  (void)ctx;
+  TIO_CO_ASSIGN_OR_RETURN(OpenFile * of, handle(file));
+  const std::string parent = of->parent_dir;
+  open_files_.erase(file);
+  co_await mds_op(parent, config_.mds_close_time);
+  co_return Status::Ok();
+}
+
+sim::Task<void> SimPfs::acquire_write_locks(IoCtx ctx, Object& obj, std::uint64_t offset,
+                                            std::uint64_t len) {
+  const std::uint64_t first = offset / config_.lock_range;
+  const std::uint64_t last = (offset + len - 1) / config_.lock_range;
+  for (std::uint64_t r = first; r <= last; ++r) {
+    const auto it = obj.lock_owner.find(r);
+    const auto owner = static_cast<std::size_t>(ctx.rank);
+    if (it != obj.lock_owner.end() && it->second == owner) continue;  // cached lock
+    if (it == obj.lock_owner.end()) {
+      ++stats_.lock_grants;
+      co_await engine().sleep(config_.lock_grant_time);
+    } else {
+      // Ownership transfer: revoke from the current holder, serialized at
+      // the object's lock manager. Revocation synchronously flushes the
+      // previous owner's dirty data for the range (approximated by the
+      // incoming write's scale) before the new owner may proceed.
+      ++stats_.lock_transfers;
+      if (!obj.lock_server) {
+        obj.lock_server = std::make_unique<sim::FcfsServer>(engine(), 1, "lockmgr");
+      }
+      const std::uint64_t flush_bytes =
+          std::min(config_.lock_range, std::max(len, config_.rmw_page));
+      co_await obj.lock_server->serve(config_.lock_transfer_time +
+                                      transfer_time(flush_bytes, config_.ost_bandwidth));
+    }
+    obj.lock_owner[r] = owner;
+  }
+}
+
+sim::Task<void> SimPfs::data_path(IoCtx ctx, ObjectId oid, std::uint64_t offset,
+                                  std::uint64_t len, bool is_write) {
+  (void)ctx;
+  // Write-behind: the client pipelines dirty data to the server, so writes
+  // pay bandwidth but not a per-op round trip; reads are synchronous.
+  if (!(is_write && config_.write_behind)) {
+    co_await engine().sleep(cluster_.storage_latency());
+  }
+  // The network transfer and the disk work pipeline (servers stream while
+  // platters seek), so they run concurrently: the request takes the longer
+  // of the two, not their sum.
+  sim::WaitGroup net_wg(engine());
+  net_wg.add();
+  engine().spawn([](net::Cluster& cluster, std::uint64_t bytes,
+                    sim::WaitGroup& wg) -> sim::Task<void> {
+    co_await cluster.storage_net().transfer(bytes);
+    wg.done();
+  }(cluster_, len, net_wg));
+
+  // Striped OST I/O. Pieces beyond stripe_parallelism are merged into
+  // contiguous segments so a huge request costs O(parallelism) events.
+  const std::uint64_t unit = config_.stripe_unit;
+  const std::uint64_t first_piece = offset / unit;
+  const std::uint64_t last_piece = (offset + len - 1) / unit;
+  const std::uint64_t pieces = last_piece - first_piece + 1;
+  const std::uint64_t segments =
+      std::min<std::uint64_t>(pieces, std::max<std::size_t>(1, config_.stripe_parallelism));
+
+  const std::size_t width = std::max<std::size_t>(1, std::min(config_.stripe_width,
+                                                               osts_.size()));
+  const std::size_t shelf = static_cast<std::size_t>(oid) % osts_.size();
+  auto ost_of = [&](std::uint64_t piece) -> Ost& {
+    return *osts_[(shelf + static_cast<std::size_t>(piece) % width) % osts_.size()];
+  };
+  if (segments == 1) {  // fast path: no extra fan-out for small ops
+    co_await ost_of(first_piece).io(oid, offset, len, is_write);
+    co_await net_wg.wait();
+    co_return;
+  }
+
+  sim::WaitGroup wg(engine());
+  auto issue = [](Ost& ost, ObjectId o, std::uint64_t off, std::uint64_t n, bool w,
+                  sim::WaitGroup& group) -> sim::Task<void> {
+    co_await ost.io(o, off, n, w);
+    group.done();
+  };
+  const std::uint64_t span = offset + len;
+  for (std::uint64_t s = 0; s < segments; ++s) {
+    const std::uint64_t seg_start = std::max(offset, (first_piece + s * pieces / segments) * unit);
+    const std::uint64_t seg_end =
+        s + 1 == segments ? span
+                          : std::min(span, (first_piece + (s + 1) * pieces / segments) * unit);
+    if (seg_end <= seg_start) continue;
+    Ost& ost = ost_of(first_piece + s);  // round-robin arms per segment
+    wg.add();
+    engine().spawn(issue(ost, oid, seg_start, seg_end - seg_start, is_write, wg));
+  }
+  co_await wg.wait();
+  co_await net_wg.wait();
+}
+
+sim::Task<Result<std::uint64_t>> SimPfs::write(IoCtx ctx, FileId file, std::uint64_t offset,
+                                               DataView data) {
+  TIO_CO_ASSIGN_OR_RETURN(OpenFile * of, handle(file));
+  if (!of->flags.write) co_return error(Errc::permission, "fd not writable");
+  if (data.empty()) co_return std::uint64_t{0};
+  Object& o = object(of->oid);
+  const std::uint64_t len = data.size();
+
+  if (config_.shared_file_locking) {
+    co_await acquire_write_locks(ctx, o, offset, len);
+  }
+  // Read-modify-write penalty: unaligned data arriving anywhere but the
+  // current end of file forces partial-page (parity-stripe) RMW at the
+  // server. In-order appends coalesce in the write-behind cache and are
+  // exempt — which is exactly what PLFS's log-structuring guarantees.
+  const bool in_order_append = offset == o.size;
+  const bool aligned =
+      offset % config_.rmw_page == 0 && (offset + len) % config_.rmw_page == 0;
+  if (!in_order_append && !aligned) {
+    ++stats_.rmw_reads;
+    const std::uint64_t page_start = offset - offset % config_.rmw_page;
+    co_await data_path(ctx, of->oid, page_start, config_.rmw_page, /*is_write=*/false);
+  }
+
+  co_await data_path(ctx, of->oid, offset, len, /*is_write=*/true);
+
+  o.data.write(offset, std::move(data));
+  o.size = std::max(o.size, offset + len);
+  o.mtime = engine().now();
+  cluster_.page_cache(ctx.node).fill(of->oid, offset, len);
+  stats_.bytes_written += len;
+  co_return len;
+}
+
+sim::Task<Result<FragmentList>> SimPfs::read(IoCtx ctx, FileId file, std::uint64_t offset,
+                                             std::uint64_t len) {
+  TIO_CO_ASSIGN_OR_RETURN(OpenFile * of, handle(file));
+  if (!of->flags.read) co_return error(Errc::permission, "fd not readable");
+  Object& o = object(of->oid);
+  if (offset >= o.size) co_return FragmentList{};  // EOF
+  len = std::min(len, o.size - offset);
+  if (len == 0) co_return FragmentList{};
+
+  net::PageCache& cache = cluster_.page_cache(ctx.node);
+  std::vector<net::ByteRange> misses;
+  const std::uint64_t hit = cache.lookup(of->oid, offset, len, &misses);
+  stats_.cache_hit_bytes += hit;
+  if (hit > 0) {
+    co_await engine().sleep(transfer_time(hit, cluster_.cached_read_rate()));
+  }
+  const std::uint64_t block = cluster_.config().page_cache_block;
+  for (const auto& m : misses) {
+    // Page-cache I/O is block granular: expand the miss to block boundaries
+    // (clipped at EOF), charge the full transfer, and cache what was paid
+    // for. This is what makes sequential log reads prefetch-friendly.
+    const std::uint64_t lo = m.offset / block * block;
+    const std::uint64_t hi = std::min(o.size, (m.offset + m.len + block - 1) / block * block);
+    co_await data_path(ctx, of->oid, lo, hi - lo, /*is_write=*/false);
+    cache.fill(of->oid, lo, hi - lo);
+  }
+  stats_.bytes_read += len;
+  co_return o.data.read(offset, len);
+}
+
+sim::Task<Status> SimPfs::mkdir(IoCtx ctx, std::string path) {
+  (void)ctx;
+  path = path_normalize(path);
+  const std::string parent(path_dirname(path));
+  if (!ns_.exists(parent)) {
+    co_await mds_op(parent, config_.mds_open_time);
+    co_return error(Errc::not_found, "parent: " + parent);
+  }
+  co_await dir_mutation(parent);
+  co_return ns_.mkdir(path);
+}
+
+sim::Task<Status> SimPfs::rmdir(IoCtx ctx, std::string path) {
+  (void)ctx;
+  path = path_normalize(path);
+  co_await dir_mutation(std::string(path_dirname(path)));
+  co_return ns_.rmdir(path);
+}
+
+sim::Task<Status> SimPfs::unlink(IoCtx ctx, std::string path) {
+  (void)ctx;
+  path = path_normalize(path);
+  co_await dir_mutation(std::string(path_dirname(path)));
+  auto removed = ns_.unlink(path);
+  if (!removed.ok()) co_return removed.status();
+  objects_.erase(removed.value());
+  co_return Status::Ok();
+}
+
+sim::Task<Status> SimPfs::rename(IoCtx ctx, std::string from, std::string to) {
+  (void)ctx;
+  from = path_normalize(from);
+  to = path_normalize(to);
+  co_await dir_mutation(std::string(path_dirname(from)));
+  if (path_dirname(from) != path_dirname(to)) {
+    co_await dir_mutation(std::string(path_dirname(to)));
+  }
+  co_return ns_.rename(from, to);
+}
+
+sim::Task<Result<StatInfo>> SimPfs::stat(IoCtx ctx, std::string path) {
+  (void)ctx;
+  path = path_normalize(path);
+  co_await mds_op(path_dirname(path), config_.mds_stat_time);
+  auto entry = ns_.lookup(path);
+  if (!entry.ok()) co_return entry.status();
+  StatInfo info;
+  info.is_dir = entry->is_dir;
+  if (!entry->is_dir) {
+    const auto it = objects_.find(entry->oid);
+    if (it != objects_.end()) {
+      info.size = it->second.size;
+      info.mtime = it->second.mtime;
+    }
+  }
+  co_return info;
+}
+
+sim::Task<Result<std::vector<DirEntry>>> SimPfs::readdir(IoCtx ctx, std::string path) {
+  (void)ctx;
+  path = path_normalize(path);
+  auto entries = ns_.readdir(path);
+  const std::size_t n = entries.ok() ? entries->size() : 0;
+  co_await mds_op(path, config_.mds_open_time + config_.mds_readdir_per_entry *
+                            static_cast<std::int64_t>(n));
+  co_return entries;
+}
+
+void SimPfs::drop_caches() {
+  // A restart happens long after the checkpoint: client caches and server
+  // DRAM are both cold.
+  for (std::size_t n = 0; n < cluster_.nodes(); ++n) cluster_.page_cache(n).clear();
+  for (auto& ost : osts_) ost->drop_cache();
+}
+
+}  // namespace tio::pfs

@@ -1,0 +1,121 @@
+// SimPfs: the simulated underlying parallel file system ("PanFS-like").
+//
+// Combines:
+//   * a real in-memory namespace + per-file extent maps (data is verifiable),
+//   * metadata servers modeled as FCFS queues with per-directory serialized
+//     inserts that degrade as directories grow,
+//   * OSTs with seek/stream/prefetch behaviour behind the cluster's shared
+//     storage network,
+//   * a range-lock manager charging ownership transfers when multiple nodes
+//     write the same regions of one file — the N-1 serialization the paper's
+//     middleware removes,
+//   * the cluster's per-node page caches.
+//
+// Metadata placement: the top-level path component ("/vol3/...") selects the
+// metadata server, modeling rigidly divided, glued-together namespaces
+// (PanFS realms). A single directory never spreads across servers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/cluster.h"
+#include "pfs/config.h"
+#include "pfs/extent_map.h"
+#include "pfs/fs_client.h"
+#include "pfs/namespace.h"
+#include "pfs/ost.h"
+#include "sim/server.h"
+#include "sim/sync.h"
+
+namespace tio::pfs {
+
+class SimPfs : public FsClient {
+ public:
+  SimPfs(net::Cluster& cluster, PfsConfig config);
+
+  sim::Task<Result<FileId>> open(IoCtx ctx, std::string path, OpenFlags flags) override;
+  sim::Task<Status> close(IoCtx ctx, FileId file) override;
+  sim::Task<Result<std::uint64_t>> write(IoCtx ctx, FileId file, std::uint64_t offset,
+                                         DataView data) override;
+  sim::Task<Result<FragmentList>> read(IoCtx ctx, FileId file, std::uint64_t offset,
+                                       std::uint64_t len) override;
+  sim::Task<Status> mkdir(IoCtx ctx, std::string path) override;
+  sim::Task<Status> rmdir(IoCtx ctx, std::string path) override;
+  sim::Task<Status> unlink(IoCtx ctx, std::string path) override;
+  sim::Task<Status> rename(IoCtx ctx, std::string from, std::string to) override;
+  sim::Task<Result<StatInfo>> stat(IoCtx ctx, std::string path) override;
+  sim::Task<Result<std::vector<DirEntry>>> readdir(IoCtx ctx, std::string path) override;
+  sim::Engine& engine() override { return cluster_.engine(); }
+
+  // --- introspection (tests, benches) ---
+  const PfsConfig& config() const { return config_; }
+  net::Cluster& cluster() { return cluster_; }
+  Namespace& ns() { return ns_; }
+  // Extent map of a file's object; null when unknown.
+  const ExtentMap* object_extents(ObjectId oid) const;
+  const sim::FcfsServer& mds(std::size_t i) const { return *mds_[i]; }
+  const Ost& ost(std::size_t i) const { return *osts_[i]; }
+  std::size_t mds_of_path(std::string_view path) const;
+  void drop_caches();
+
+  struct Stats {
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t cache_hit_bytes = 0;
+    std::uint64_t lock_grants = 0;
+    std::uint64_t lock_transfers = 0;
+    std::uint64_t rmw_reads = 0;
+    std::uint64_t metadata_ops = 0;
+    std::uint64_t opens = 0;
+    std::uint64_t creates = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct Object {
+    ExtentMap data;
+    std::uint64_t size = 0;
+    TimePoint mtime;
+    bool dentry_hot = false;  // opened before: MDS serves from cache
+    std::unordered_map<std::uint64_t, std::size_t> lock_owner;  // range idx -> node
+    std::unique_ptr<sim::FcfsServer> lock_server;               // lazily created
+  };
+  struct OpenFile {
+    ObjectId oid = kNoObject;
+    OpenFlags flags;
+    std::string parent_dir;  // for close-time MDS selection
+  };
+
+  Object& object(ObjectId oid);
+  Result<OpenFile*> handle(FileId file);
+  sim::Mutex& dir_mutex(const std::string& dir);
+  // RPC + queue + service at the MDS serving `dir_path`.
+  sim::Task<void> mds_op(std::string_view dir_path, Duration service);
+  // Namespace mutation under the directory's serialized insert lock, with
+  // size-dependent degradation.
+  sim::Task<void> dir_mutation(std::string dir_path);
+  sim::Task<void> acquire_write_locks(IoCtx ctx, Object& obj, std::uint64_t offset,
+                                      std::uint64_t len);
+  // Physical transfer of [offset, offset+len) of `oid`: storage network +
+  // striped OST I/Os (issued concurrently up to stripe_parallelism).
+  sim::Task<void> data_path(IoCtx ctx, ObjectId oid, std::uint64_t offset, std::uint64_t len,
+                            bool is_write);
+
+  net::Cluster& cluster_;
+  PfsConfig config_;
+  Namespace ns_;
+  std::vector<std::unique_ptr<sim::FcfsServer>> mds_;
+  std::vector<std::unique_ptr<Ost>> osts_;
+  std::unordered_map<std::string, std::unique_ptr<sim::Mutex>> dir_mutexes_;
+  std::unordered_map<ObjectId, Object> objects_;
+  std::unordered_map<FileId, OpenFile> open_files_;
+  FileId next_file_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace tio::pfs

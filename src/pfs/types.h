@@ -1,0 +1,53 @@
+// Common vocabulary types for file-system clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace tio::pfs {
+
+// Identifies a file's backing object; never reused within a file system.
+using ObjectId = std::uint64_t;
+// An open-file handle id, per client instance.
+using FileId = std::uint64_t;
+
+inline constexpr ObjectId kNoObject = 0;
+
+// Identifies the issuing process for cost accounting (node placement for
+// caches/NICs) and lock ownership.
+struct IoCtx {
+  std::size_t node = 0;
+  int rank = 0;
+};
+
+struct OpenFlags {
+  bool read = false;
+  bool write = false;
+  bool create = false;
+  bool trunc = false;
+  bool excl = false;
+
+  static OpenFlags ro() { return {.read = true}; }
+  static OpenFlags wr() { return {.write = true}; }
+  static OpenFlags rdwr() { return {.read = true, .write = true}; }
+  // Typical log-file creation: write, create if absent, fail if present.
+  static OpenFlags wr_create() { return {.write = true, .create = true}; }
+  static OpenFlags wr_create_excl() { return {.write = true, .create = true, .excl = true}; }
+  static OpenFlags wr_trunc() { return {.write = true, .create = true, .trunc = true}; }
+};
+
+struct StatInfo {
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  TimePoint mtime;
+};
+
+struct DirEntry {
+  std::string name;
+  bool is_dir = false;
+  friend bool operator==(const DirEntry&, const DirEntry&) = default;
+};
+
+}  // namespace tio::pfs

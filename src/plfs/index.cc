@@ -1,0 +1,149 @@
+#include "plfs/index.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tio::plfs {
+
+void append_serialized(std::vector<std::byte>& out, const IndexEntry& entry) {
+  const std::size_t base = out.size();
+  out.resize(base + IndexEntry::kSerializedSize);
+  auto put = [&out](std::size_t at, const void* src, std::size_t n) {
+    std::memcpy(out.data() + at, src, n);
+  };
+  put(base + 0, &entry.logical_offset, 8);
+  put(base + 8, &entry.length, 8);
+  put(base + 16, &entry.physical_offset, 8);
+  put(base + 24, &entry.timestamp_ns, 8);
+  put(base + 32, &entry.writer, 4);
+  const std::uint32_t pad = 0;
+  put(base + 36, &pad, 4);
+}
+
+std::vector<std::byte> serialize_entries(const std::vector<IndexEntry>& entries) {
+  std::vector<std::byte> out;
+  out.reserve(entries.size() * IndexEntry::kSerializedSize);
+  for (const auto& e : entries) append_serialized(out, e);
+  return out;
+}
+
+Result<std::vector<IndexEntry>> deserialize_entries(const FragmentList& data) {
+  if (data.size() % IndexEntry::kSerializedSize != 0) {
+    return error(Errc::io_error, "index log size is not a multiple of the record size");
+  }
+  const auto bytes = data.to_bytes();
+  std::vector<IndexEntry> out(bytes.size() / IndexEntry::kSerializedSize);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::byte* p = bytes.data() + i * IndexEntry::kSerializedSize;
+    std::memcpy(&out[i].logical_offset, p + 0, 8);
+    std::memcpy(&out[i].length, p + 8, 8);
+    std::memcpy(&out[i].physical_offset, p + 16, 8);
+    std::memcpy(&out[i].timestamp_ns, p + 24, 8);
+    std::memcpy(&out[i].writer, p + 32, 4);
+  }
+  return out;
+}
+
+Index Index::build(std::vector<IndexEntry> entries, bool compress) {
+  std::sort(entries.begin(), entries.end(), [](const IndexEntry& a, const IndexEntry& b) {
+    if (a.timestamp_ns != b.timestamp_ns) return a.timestamp_ns < b.timestamp_ns;
+    if (a.writer != b.writer) return a.writer < b.writer;
+    return a.physical_offset < b.physical_offset;
+  });
+  Index idx;
+  for (const auto& e : entries) idx.insert(e, compress);
+  return idx;
+}
+
+void Index::insert(const IndexEntry& e, bool compress) {
+  if (e.length == 0) return;
+  const std::uint64_t start = e.logical_offset;
+  const std::uint64_t end = start + e.length;
+
+  // Trim or split whatever the new (later-timestamped) entry overlaps.
+  auto it = map_.upper_bound(start);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    const std::uint64_t prev_end = prev->first + prev->second.length;
+    if (prev_end > start) {
+      Mapping old = prev->second;
+      prev->second.length = start - prev->first;
+      if (prev->second.length == 0) map_.erase(prev);
+      if (prev_end > end) {
+        Mapping tail = old;
+        tail.logical_offset = end;
+        tail.length = prev_end - end;
+        tail.physical_offset = old.physical_offset + (end - old.logical_offset);
+        map_.emplace(end, tail);
+      }
+    }
+  }
+  it = map_.lower_bound(start);
+  while (it != map_.end() && it->first < end) {
+    const std::uint64_t ext_end = it->first + it->second.length;
+    if (ext_end <= end) {
+      it = map_.erase(it);
+    } else {
+      Mapping tail = it->second;
+      tail.logical_offset = end;
+      tail.length = ext_end - end;
+      tail.physical_offset += end - it->first;
+      map_.erase(it);
+      map_.emplace(end, tail);
+      break;
+    }
+  }
+
+  Mapping m{start, e.length, e.writer, e.physical_offset};
+  // Compression: merge with a same-writer predecessor that is contiguous
+  // both logically and physically.
+  auto next = map_.lower_bound(start);
+  if (compress && next != map_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.writer == m.writer &&
+        prev->first + prev->second.length == start &&
+        prev->second.physical_offset + prev->second.length == m.physical_offset) {
+      prev->second.length += m.length;
+      return;
+    }
+  }
+  map_.emplace(start, m);
+}
+
+std::vector<Index::Mapping> Index::lookup(std::uint64_t offset, std::uint64_t len) const {
+  std::vector<Mapping> out;
+  if (len == 0) return out;
+  const std::uint64_t end = offset + len;
+  auto it = map_.upper_bound(offset);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > offset) it = prev;
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    const std::uint64_t m_start = std::max(offset, it->first);
+    const std::uint64_t m_end = std::min(end, it->first + it->second.length);
+    Mapping m = it->second;
+    m.physical_offset += m_start - it->first;
+    m.logical_offset = m_start;
+    m.length = m_end - m_start;
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::uint64_t Index::logical_size() const {
+  if (map_.empty()) return 0;
+  const auto& last = *map_.rbegin();
+  return last.first + last.second.length;
+}
+
+std::vector<IndexEntry> Index::to_entries() const {
+  std::vector<IndexEntry> out;
+  out.reserve(map_.size());
+  for (const auto& [off, m] : map_) {
+    out.push_back(IndexEntry{off, m.length, m.physical_offset, 0, m.writer});
+  }
+  return out;
+}
+
+}  // namespace tio::plfs

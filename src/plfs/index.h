@@ -1,0 +1,76 @@
+// PLFS index machinery.
+//
+// Every process writing a PLFS logical file appends its data to a private
+// log and records, per write, an IndexEntry mapping the logical extent to
+// (writer, physical offset in that writer's data log, timestamp). Reading
+// the logical file requires the union of all writers' entries — the global
+// Index — with overlaps resolved by timestamp (PLFS defers write resolution
+// from write time to read time; the paper's note 1).
+//
+// The Index also performs entry compression: adjacent entries from the same
+// writer that are contiguous both logically and physically collapse into
+// one, so well-behaved sequential/strided patterns have tiny indices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/dataview.h"
+#include "common/status.h"
+
+namespace tio::plfs {
+
+struct IndexEntry {
+  std::uint64_t logical_offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t physical_offset = 0;  // within the writer's data log
+  std::int64_t timestamp_ns = 0;
+  std::uint32_t writer = 0;  // rank/pid owning data.<writer> / index.<writer>
+
+  static constexpr std::uint64_t kSerializedSize = 40;
+  friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
+};
+
+// Fixed-record serialization of entry batches (the on-"disk" format of
+// index.<writer> logs and of the flattened global index file).
+std::vector<std::byte> serialize_entries(const std::vector<IndexEntry>& entries);
+void append_serialized(std::vector<std::byte>& out, const IndexEntry& entry);
+// Parses a whole buffer of records; a trailing partial record is an error.
+Result<std::vector<IndexEntry>> deserialize_entries(const FragmentList& data);
+
+// The queryable global index.
+class Index {
+ public:
+  // Builds from an unordered entry pool: sorts by timestamp (ties by writer)
+  // so that later writes win, then inserts with splitting + compression.
+  // `compress` exists for the ablation bench; production callers leave it on.
+  static Index build(std::vector<IndexEntry> entries, bool compress = true);
+
+  struct Mapping {
+    std::uint64_t logical_offset;
+    std::uint64_t length;
+    std::uint32_t writer;
+    std::uint64_t physical_offset;
+    friend bool operator==(const Mapping&, const Mapping&) = default;
+  };
+
+  // Mappings covering [offset, offset+len), clipped, in logical order.
+  // Unwritten gaps are simply absent from the result (they read as zeros).
+  std::vector<Mapping> lookup(std::uint64_t offset, std::uint64_t len) const;
+
+  // One past the highest written logical byte.
+  std::uint64_t logical_size() const;
+  std::size_t mapping_count() const { return map_.size(); }
+
+  // Re-serializes the (compressed) index for broadcast/flatten costing.
+  std::vector<IndexEntry> to_entries() const;
+  std::uint64_t serialized_bytes() const { return map_.size() * IndexEntry::kSerializedSize; }
+
+ private:
+  void insert(const IndexEntry& e, bool compress);
+  // key = logical offset; entries non-overlapping.
+  std::map<std::uint64_t, Mapping> map_;
+};
+
+}  // namespace tio::plfs

@@ -1,0 +1,50 @@
+// PLFS mount configuration: backends (glued namespaces) and policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tio::plfs {
+
+enum class ReadStrategy {
+  original,       // every reader reads every index log (N^2 opens)
+  index_flatten,  // global index written at close, broadcast at open
+  parallel_read,  // group-leader aggregation at open (the default)
+};
+
+struct PlfsMount {
+  // Physical roots the containers are spread over, e.g. {"/vol0/plfs",
+  // "/vol1/plfs", ...}. Each root typically lives in a different metadata
+  // namespace; one entry means no federation.
+  std::vector<std::string> backends;
+
+  // Subdirectories per container holding the data/index logs.
+  std::size_t num_subdirs = 32;
+  // Container-level federation: hash the canonical container across
+  // backends (otherwise everything is canonical on backends[0]).
+  bool spread_containers = true;
+  // Subdir-level federation: hash each subdir.k across backends.
+  bool spread_subdirs = true;
+
+  // Index-log write batching (entries buffered per writer before an append
+  // hits the index log; PLFS's index buffering).
+  std::size_t index_flush_every = 64;
+
+  // Index Flatten is only performed when every writer buffered at most this
+  // many entries (the paper's threshold).
+  std::size_t flatten_threshold = 1u << 20;
+
+  // Group size for the Parallel Index Read collective (0 = sqrt(nprocs)).
+  std::size_t parallel_read_group = 0;
+
+  // CPU cost of handling one index entry (deserialize/merge/sort); charged
+  // wherever entries are processed, so index aggregation is never free.
+  Duration index_cpu_per_entry = Duration::ns(1000);
+
+  ReadStrategy default_strategy = ReadStrategy::parallel_read;
+};
+
+}  // namespace tio::plfs

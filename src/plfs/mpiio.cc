@@ -1,0 +1,200 @@
+#include "plfs/mpiio.h"
+
+#include <cmath>
+
+namespace tio::plfs {
+
+namespace {
+
+// Group size for Parallel Index Read: configured, else ~sqrt(n) so the
+// leader tier and the member tier are balanced.
+std::size_t group_size_for(const PlfsMount& mount, int nprocs) {
+  if (mount.parallel_read_group > 0) return mount.parallel_read_group;
+  const auto g = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(nprocs))));
+  return std::max<std::size_t>(1, g);
+}
+
+sim::Task<Result<std::shared_ptr<const Index>>> aggregate_flatten(Plfs& plfs, mpi::Comm& comm,
+                                                                  const std::string& logical) {
+  const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
+  // Root reads the flattened index; everyone receives it by broadcast.
+  std::shared_ptr<const Index> index;
+  std::uint64_t bytes = 0;
+  if (comm.rank() == 0) {
+    auto read = co_await plfs.read_global_index(ctx, logical);
+    if (!read.ok()) co_return read.status();
+    index = std::move(read.value());
+    bytes = index->serialized_bytes();
+  }
+  bytes = co_await comm.bcast(0, bytes, 8);
+  index = co_await comm.bcast(0, std::move(index), bytes);
+  co_return index;
+}
+
+sim::Task<Result<std::shared_ptr<const Index>>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
+                                                                   const std::string& logical) {
+  const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
+  const int n = comm.size();
+
+  // 1. One process enumerates the index logs and broadcasts the work list.
+  // (The byte count is broadcast first so every relaying rank charges the
+  // correct transfer volume.)
+  std::vector<Plfs::IndexLogRef> logs;
+  if (comm.rank() == 0) {
+    auto listed = co_await plfs.list_index_logs(ctx, logical);
+    if (!listed.ok()) co_return listed.status();
+    logs = std::move(listed.value());
+  }
+  const std::uint64_t list_bytes =
+      co_await comm.bcast(0, static_cast<std::uint64_t>(64 * logs.size()), 8);
+  auto shared_logs = co_await comm.bcast(
+      0, std::make_shared<const std::vector<Plfs::IndexLogRef>>(std::move(logs)), list_bytes);
+
+  // 2. Each rank reads its disjoint share of the index logs.
+  std::vector<IndexEntry> mine;
+  for (std::size_t i = comm.rank(); i < shared_logs->size(); i += n) {
+    auto entries = co_await plfs.read_index_log(ctx, (*shared_logs)[i].path);
+    if (!entries.ok()) co_return entries.status();
+    mine.insert(mine.end(), (*entries)->begin(), (*entries)->end());
+  }
+
+  // 3. Two-level aggregation: members -> group leader, leaders <-> leaders.
+  const auto gsize = static_cast<int>(group_size_for(plfs.mount(), n));
+  mpi::Comm group = co_await comm.split(comm.rank() / gsize, comm.rank());
+  const bool leader = group.rank() == 0;
+  mpi::Comm leaders = co_await comm.split(leader ? 0 : 1, comm.rank());
+
+  const std::uint64_t my_bytes = mine.size() * IndexEntry::kSerializedSize;
+  auto pools = co_await group.gather(0, std::move(mine), my_bytes);
+
+  std::shared_ptr<const Index> index;
+  if (leader) {
+    auto group_pool = std::make_shared<std::vector<IndexEntry>>();
+    for (auto& p : pools) group_pool->insert(group_pool->end(), p.begin(), p.end());
+    const std::uint64_t pool_bytes = group_pool->size() * IndexEntry::kSerializedSize;
+    // Pools travel as shared structure: every leader logically holds the
+    // full entry set (and is charged transfer + merge CPU for it), but the
+    // simulator keeps one copy — 65,536-rank runs would otherwise
+    // materialize hundreds of copies of a million-entry pool.
+    auto all_pools = co_await leaders.allgather(
+        std::shared_ptr<const std::vector<IndexEntry>>(std::move(group_pool)), pool_bytes);
+    std::size_t total = 0;
+    for (const auto& p : all_pools) total += p->size();
+    co_await comm.engine().sleep(plfs.mount().index_cpu_per_entry *
+                                 static_cast<std::int64_t>(total));
+    if (leaders.rank() == 0) {
+      std::vector<IndexEntry> everything;
+      everything.reserve(total);
+      for (const auto& p : all_pools) everything.insert(everything.end(), p->begin(), p->end());
+      index = std::make_shared<const Index>(Index::build(std::move(everything)));
+    }
+    // Zero-byte structure share among leaders (each already paid the merge).
+    index = co_await leaders.bcast(0, std::move(index), 0);
+  }
+
+  // 4. Leaders broadcast the merged global index within their group.
+  const std::uint64_t idx_bytes = leader ? index->serialized_bytes() : 0;
+  try {
+    const std::uint64_t bytes = co_await group.bcast(0, idx_bytes, 8);
+    index = co_await group.bcast(0, std::move(index), bytes);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " [step4 n=" + std::to_string(n) +
+                             " gsize=" + std::to_string(gsize) + " grank=" +
+                             std::to_string(group.rank()) + " gsizeactual=" +
+                             std::to_string(group.size()) + " gctx=" +
+                             std::to_string(group.context()) + " lctx=" +
+                             std::to_string(leaders.context()) + "]");
+  }
+  co_return index;
+}
+
+}  // namespace
+
+sim::Task<Result<std::shared_ptr<const Index>>> aggregate_index(Plfs& plfs, mpi::Comm& comm,
+                                                                const std::string& logical,
+                                                                ReadStrategy strategy) {
+  const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
+  switch (strategy) {
+    case ReadStrategy::original: {
+      // Uncoordinated: every rank aggregates on its own.
+      auto idx = co_await plfs.build_index_serial(ctx, logical);
+      if (!idx.ok()) co_return idx.status();
+      co_return std::move(idx.value());
+    }
+    case ReadStrategy::index_flatten:
+      co_return co_await aggregate_flatten(plfs, comm, logical);
+    case ReadStrategy::parallel_read:
+      co_return co_await aggregate_parallel(plfs, comm, logical);
+  }
+  co_return error(Errc::invalid, "unknown read strategy");
+}
+
+sim::Task<Result<std::unique_ptr<MpiFile>>> MpiFile::open_write(Plfs& plfs, mpi::Comm& comm,
+                                                                std::string logical) {
+  std::unique_ptr<MpiFile> file(new MpiFile(plfs, comm, logical));
+  auto wh = co_await plfs.open_write(file->ctx(), std::move(logical), comm.rank());
+  if (!wh.ok()) co_return wh.status();
+  file->write_ = std::move(wh.value());
+  co_await comm.barrier();  // collective open completes together
+  co_return file;
+}
+
+sim::Task<Status> MpiFile::write(std::uint64_t offset, DataView data) {
+  if (!write_) co_return error(Errc::bad_handle, "not open for write");
+  co_return co_await write_->write(offset, std::move(data));
+}
+
+sim::Task<Status> MpiFile::close_write(bool flatten) {
+  if (!write_) co_return error(Errc::bad_handle, "not open for write");
+  // Index Flatten only proceeds when every writer buffered at most the
+  // threshold's worth of entries (the paper's condition).
+  if (flatten) {
+    const std::uint64_t my_entries = write_->entries().size();
+    const std::uint64_t max_entries = co_await comm_->allreduce(
+        my_entries, 8, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+    if (max_entries <= plfs_->mount().flatten_threshold) {
+      const std::uint64_t bytes = my_entries * IndexEntry::kSerializedSize;
+      auto pools = co_await comm_->gather(0, write_->entries(), bytes);
+      if (comm_->rank() == 0) {
+        std::vector<IndexEntry> everything;
+        for (auto& p : pools) everything.insert(everything.end(), p.begin(), p.end());
+        co_await comm_->engine().sleep(plfs_->mount().index_cpu_per_entry *
+                                       static_cast<std::int64_t>(everything.size()));
+        const Index global = Index::build(std::move(everything));
+        TIO_CO_RETURN_IF_ERROR(co_await plfs_->write_global_index(ctx(), logical_, global));
+      }
+    }
+  }
+  TIO_CO_RETURN_IF_ERROR(co_await write_->close());
+  write_.reset();
+  co_await comm_->barrier();
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::unique_ptr<MpiFile>>> MpiFile::open_read(Plfs& plfs, mpi::Comm& comm,
+                                                               std::string logical,
+                                                               ReadStrategy strategy) {
+  std::unique_ptr<MpiFile> file(new MpiFile(plfs, comm, logical));
+  auto index = co_await aggregate_index(plfs, comm, file->logical_, strategy);
+  if (!index.ok()) co_return index.status();
+  auto rh = co_await plfs.open_read(file->ctx(), file->logical_, std::move(index.value()));
+  if (!rh.ok()) co_return rh.status();
+  file->read_ = std::move(rh.value());
+  co_await comm.barrier();
+  co_return file;
+}
+
+sim::Task<Result<FragmentList>> MpiFile::read(std::uint64_t offset, std::uint64_t len) {
+  if (!read_) co_return error(Errc::bad_handle, "not open for read");
+  co_return co_await read_->read(offset, len);
+}
+
+sim::Task<Status> MpiFile::close_read() {
+  if (!read_) co_return error(Errc::bad_handle, "not open for read");
+  TIO_CO_RETURN_IF_ERROR(co_await read_->close());
+  read_.reset();
+  co_await comm_->barrier();
+  co_return Status::Ok();
+}
+
+}  // namespace tio::plfs

@@ -1,0 +1,379 @@
+#include "plfs/plfs.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strutil.h"
+
+namespace tio::plfs {
+
+using pfs::OpenFlags;
+
+Plfs::Plfs(pfs::FsClient& fs, PlfsMount mount) : fs_(fs), mount_(std::move(mount)) {
+  if (mount_.backends.empty()) {
+    throw std::invalid_argument("PlfsMount must have at least one backend");
+  }
+}
+
+sim::Task<Status> Plfs::ensure_dir(pfs::IoCtx ctx, std::string dir) {
+  auto st = co_await fs_.stat(ctx, dir);
+  if (st.ok()) {
+    if (!st->is_dir) co_return error(Errc::not_a_directory, dir);
+    co_return Status::Ok();
+  }
+  Status made = co_await fs_.mkdir(ctx, dir);
+  if (!made.ok() && made.code() != Errc::exists) co_return made;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Plfs::ensure_container_skeleton(pfs::IoCtx ctx, const ContainerLayout& layout) {
+  // Parent chain below the canonical backend root (the roots themselves are
+  // "mounted", i.e. pre-existing).
+  const std::string parent_logical(path_dirname(layout.logical()));
+  const std::size_t canonical = layout.canonical_backend();
+  if (parent_logical != "/") {
+    std::string built = mount_.backends[canonical];
+    for (const auto comp : path_components(parent_logical)) {
+      built = path_join(built, comp);
+      TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, built));
+    }
+  }
+  TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, layout.canonical_container()));
+  // The access marker: created once, tolerated when racing.
+  auto access = co_await fs_.open(ctx, layout.access_path(), OpenFlags::wr_create_excl());
+  if (access.ok()) {
+    TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, *access));
+  } else if (access.status().code() != Errc::exists) {
+    co_return access.status();
+  }
+  TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, layout.meta_dir()));
+  TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, layout.openhosts_dir()));
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
+                                                                 std::string logical, int rank) {
+  ContainerLayout lay = layout(logical);
+  invalidate_memos();  // the container is about to change
+  TIO_CO_RETURN_IF_ERROR(co_await ensure_container_skeleton(ctx, lay));
+
+  // My subdir lives on its hashed backend; ensure the shadow chain there.
+  const std::size_t k = lay.subdir_of_rank(rank);
+  const std::size_t backend = lay.subdir_backend(k);
+  if (backend != lay.canonical_backend()) {
+    const std::string parent_logical(path_dirname(lay.logical()));
+    if (parent_logical != "/") {
+      std::string built = mount_.backends[backend];
+      for (const auto comp : path_components(parent_logical)) {
+        built = path_join(built, comp);
+        TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, built));
+      }
+    }
+    TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, lay.container_on(backend)));
+  }
+  TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, lay.subdir_path(k)));
+
+  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId data_fd,
+                          co_await fs_.open(ctx, lay.data_log_path(rank), OpenFlags::wr_trunc()));
+  TIO_CO_ASSIGN_OR_RETURN(
+      pfs::FileId index_fd,
+      co_await fs_.open(ctx, lay.index_log_path(rank), OpenFlags::wr_trunc()));
+
+  // Record this writer in openhosts/.
+  auto host = co_await fs_.open(ctx, lay.openhost_record_path(rank), OpenFlags::wr_create());
+  if (!host.ok()) co_return host.status();
+  TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, *host));
+
+  co_return std::unique_ptr<WriteHandle>(
+      new WriteHandle(*this, ctx, std::move(lay), rank, data_fd, index_fd));
+}
+
+sim::Task<Status> WriteHandle::write(std::uint64_t logical_offset, DataView data) {
+  if (closed_) co_return error(Errc::bad_handle, "write on closed handle");
+  if (data.empty()) co_return Status::Ok();
+  const std::uint64_t len = data.size();
+  // Log-structured: always append, regardless of the logical offset.
+  TIO_CO_ASSIGN_OR_RETURN(
+      std::uint64_t written,
+      co_await plfs_->fs_.write(ctx_, data_fd_, data_offset_, std::move(data)));
+  (void)written;
+  entries_.push_back(IndexEntry{logical_offset, len, data_offset_,
+                                plfs_->engine().now().to_ns(),
+                                static_cast<std::uint32_t>(rank_)});
+  data_offset_ += len;
+  high_water_ = std::max(high_water_, logical_offset + len);
+  if (entries_.size() - flushed_ >= plfs_->mount_.index_flush_every) {
+    TIO_CO_RETURN_IF_ERROR(co_await flush_index());
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> WriteHandle::flush_index() {
+  if (flushed_ == entries_.size()) co_return Status::Ok();
+  std::vector<std::byte> buf;
+  buf.reserve((entries_.size() - flushed_) * IndexEntry::kSerializedSize);
+  for (std::size_t i = flushed_; i < entries_.size(); ++i) {
+    append_serialized(buf, entries_[i]);
+  }
+  const std::uint64_t n = buf.size();
+  TIO_CO_ASSIGN_OR_RETURN(std::uint64_t written,
+                          co_await plfs_->fs_.write(ctx_, index_fd_, index_offset_,
+                                                    DataView::literal(std::move(buf))));
+  (void)written;
+  index_offset_ += n;
+  flushed_ = entries_.size();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> WriteHandle::close() {
+  if (closed_) co_return error(Errc::bad_handle, "double close");
+  TIO_CO_RETURN_IF_ERROR(co_await flush_index());
+  TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, data_fd_));
+  TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, index_fd_));
+  // Size dropping: the logical high water is encoded in the name, so stat
+  // never needs index aggregation.
+  auto drop = co_await plfs_->fs_.open(ctx_, layout_.meta_dropping_path(rank_, high_water_),
+                                       OpenFlags::wr_create());
+  if (!drop.ok()) co_return drop.status();
+  TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, *drop));
+  TIO_CO_RETURN_IF_ERROR(
+      co_await plfs_->fs_.unlink(ctx_, layout_.openhost_record_path(rank_)));
+  closed_ = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::vector<Plfs::IndexLogRef>>> Plfs::list_index_logs(
+    pfs::IoCtx ctx, const std::string& logical) {
+  ContainerLayout lay = layout(logical);
+  // A logical file must be a container (the access marker proves it);
+  // otherwise reads of unlinked/never-written paths would "succeed" empty.
+  TIO_CO_ASSIGN_OR_RETURN(bool container, co_await is_container(ctx, logical));
+  if (!container) co_return error(Errc::not_found, logical);
+  std::vector<IndexLogRef> out;
+  for (std::size_t k = 0; k < lay.num_subdirs(); ++k) {
+    const std::string subdir = lay.subdir_path(k);
+    auto entries = co_await fs_.readdir(ctx, subdir);
+    if (!entries.ok()) {
+      if (entries.status().code() == Errc::not_found) continue;  // unused subdir
+      co_return entries.status();
+    }
+    for (const auto& e : *entries) {
+      std::uint32_t writer = 0;
+      if (!e.is_dir && parse_index_log_name(e.name, &writer)) {
+        out.push_back(IndexLogRef{path_join(subdir, e.name), writer});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IndexLogRef& a, const IndexLogRef& b) { return a.writer < b.writer; });
+  co_return out;
+}
+
+sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> Plfs::read_index_log(
+    pfs::IoCtx ctx, std::string path) {
+  // Simulated costs are always paid in full; only the parsed host structure
+  // is shared across readers.
+  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await fs_.open(ctx, path, OpenFlags::ro()));
+  auto data = co_await fs_.read(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
+  TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, fd));
+  if (!data.ok()) co_return data.status();
+  co_await engine().sleep(mount_.index_cpu_per_entry *
+                          static_cast<std::int64_t>(data->size() / IndexEntry::kSerializedSize));
+  auto& memo = log_memo_[path];
+  if (memo == nullptr) {
+    auto entries = deserialize_entries(*data);
+    if (!entries.ok()) co_return entries.status();
+    memo = std::make_shared<const std::vector<IndexEntry>>(std::move(entries.value()));
+  }
+  co_return memo;
+}
+
+sim::Task<Result<std::shared_ptr<const Index>>> Plfs::build_index_serial(pfs::IoCtx ctx,
+                                                                         std::string logical) {
+  TIO_CO_ASSIGN_OR_RETURN(std::vector<IndexLogRef> logs, co_await list_index_logs(ctx, logical));
+  std::vector<std::shared_ptr<const std::vector<IndexEntry>>> pools;
+  std::size_t total = 0;
+  pools.reserve(logs.size());
+  for (const auto& log : logs) {
+    TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<IndexEntry>> entries,
+                            co_await read_index_log(ctx, log.path));
+    total += entries->size();
+    pools.push_back(std::move(entries));
+  }
+  co_await engine().sleep(mount_.index_cpu_per_entry * static_cast<std::int64_t>(total));
+  auto& memo = serial_index_memo_[path_normalize(logical)];
+  if (memo == nullptr) {
+    std::vector<IndexEntry> pool;
+    pool.reserve(total);
+    for (const auto& p : pools) pool.insert(pool.end(), p->begin(), p->end());
+    memo = std::make_shared<const Index>(Index::build(std::move(pool)));
+  }
+  co_return memo;
+}
+
+sim::Task<Result<std::shared_ptr<const Index>>> Plfs::read_global_index(
+    pfs::IoCtx ctx, const std::string& logical) {
+  ContainerLayout lay = layout(logical);
+  TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<IndexEntry>> entries,
+                          co_await read_index_log(ctx, lay.global_index_path()));
+  co_return std::make_shared<const Index>(Index::build(*entries));
+}
+
+sim::Task<Status> Plfs::write_global_index(pfs::IoCtx ctx, const std::string& logical,
+                                           const Index& index) {
+  ContainerLayout lay = layout(logical);
+  log_memo_.erase(lay.global_index_path());  // rewritten below
+  TIO_CO_ASSIGN_OR_RETURN(
+      pfs::FileId fd, co_await fs_.open(ctx, lay.global_index_path(), OpenFlags::wr_trunc()));
+  auto bytes = serialize_entries(index.to_entries());
+  auto written = co_await fs_.write(ctx, fd, 0, DataView::literal(std::move(bytes)));
+  TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, fd));
+  co_return written.status();
+}
+
+sim::Task<Result<std::unique_ptr<ReadHandle>>> Plfs::open_read(
+    pfs::IoCtx ctx, std::string logical, std::shared_ptr<const Index> index) {
+  ContainerLayout lay = layout(logical);
+  if (index == nullptr) {
+    // Original design: this reader aggregates every index log itself.
+    TIO_CO_ASSIGN_OR_RETURN(index, co_await build_index_serial(ctx, logical));
+  }
+  co_return std::unique_ptr<ReadHandle>(
+      new ReadHandle(*this, ctx, std::move(lay), std::move(index)));
+}
+
+sim::Task<Result<pfs::FileId>> ReadHandle::data_fd(std::uint32_t writer) {
+  const auto it = data_fds_.find(writer);
+  if (it != data_fds_.end()) co_return it->second;
+  TIO_CO_ASSIGN_OR_RETURN(
+      pfs::FileId fd,
+      co_await plfs_->fs_.open(ctx_, layout_.data_log_path(static_cast<int>(writer)),
+                               OpenFlags::ro()));
+  data_fds_[writer] = fd;
+  co_return fd;
+}
+
+sim::Task<Result<FragmentList>> ReadHandle::read(std::uint64_t offset, std::uint64_t len) {
+  if (closed_) co_return error(Errc::bad_handle, "read on closed handle");
+  FragmentList out;
+  const std::uint64_t size = index_->logical_size();
+  if (offset >= size) co_return out;  // EOF
+  len = std::min(len, size - offset);
+
+  std::uint64_t pos = offset;
+  for (const auto& m : index_->lookup(offset, len)) {
+    if (m.logical_offset > pos) {
+      out.append(DataView::zeros(m.logical_offset - pos));  // unwritten gap
+      pos = m.logical_offset;
+    }
+    TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await data_fd(m.writer));
+    auto piece = co_await plfs_->fs_.read(ctx_, fd, m.physical_offset, m.length);
+    if (!piece.ok()) co_return piece.status();
+    if (piece->size() != m.length) {
+      co_return error(Errc::io_error, "data log shorter than its index claims");
+    }
+    for (const auto& frag : piece->fragments()) out.append(frag);
+    pos += m.length;
+  }
+  if (pos < offset + len) out.append(DataView::zeros(offset + len - pos));
+  co_return out;
+}
+
+sim::Task<Status> ReadHandle::close() {
+  if (closed_) co_return error(Errc::bad_handle, "double close");
+  for (const auto& [writer, fd] : data_fds_) {
+    TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, fd));
+  }
+  data_fds_.clear();
+  closed_ = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<bool>> Plfs::is_container(pfs::IoCtx ctx, const std::string& logical) {
+  ContainerLayout lay = layout(logical);
+  auto st = co_await fs_.stat(ctx, lay.access_path());
+  if (st.ok()) co_return true;
+  if (st.status().code() == Errc::not_found) co_return false;
+  co_return st.status();
+}
+
+sim::Task<Result<std::uint64_t>> Plfs::logical_size(pfs::IoCtx ctx, const std::string& logical) {
+  ContainerLayout lay = layout(logical);
+  auto entries = co_await fs_.readdir(ctx, lay.meta_dir());
+  if (!entries.ok()) co_return entries.status();
+  std::uint64_t size = 0;
+  for (const auto& e : *entries) {
+    std::uint32_t writer = 0;
+    std::uint64_t s = 0;
+    if (parse_meta_dropping_name(e.name, &writer, &s)) size = std::max(size, s);
+  }
+  co_return size;
+}
+
+sim::Task<Result<std::vector<pfs::DirEntry>>> Plfs::readdir(pfs::IoCtx ctx,
+                                                            std::string logical_dir) {
+  std::vector<pfs::DirEntry> out;
+  for (const auto& backend : mount_.backends) {
+    auto entries = co_await fs_.readdir(ctx, path_join(backend, logical_dir));
+    if (!entries.ok()) {
+      if (entries.status().code() == Errc::not_found) continue;
+      co_return entries.status();
+    }
+    for (const auto& e : *entries) {
+      if (std::any_of(out.begin(), out.end(),
+                      [&](const pfs::DirEntry& seen) { return seen.name == e.name; })) {
+        continue;
+      }
+      pfs::DirEntry entry = e;
+      if (e.is_dir) {
+        TIO_CO_ASSIGN_OR_RETURN(bool container,
+                                co_await is_container(ctx, path_join(logical_dir, e.name)));
+        if (container) entry.is_dir = false;  // containers are logical files
+      }
+      out.push_back(std::move(entry));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const pfs::DirEntry& a, const pfs::DirEntry& b) { return a.name < b.name; });
+  co_return out;
+}
+
+sim::Task<Status> Plfs::mkdir(pfs::IoCtx ctx, std::string logical_dir) {
+  for (const auto& backend : mount_.backends) {
+    TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, path_join(backend, logical_dir)));
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Plfs::unlink(pfs::IoCtx ctx, const std::string& logical) {
+  ContainerLayout lay = layout(logical);
+  invalidate_memos();
+  TIO_CO_ASSIGN_OR_RETURN(bool container, co_await is_container(ctx, logical));
+  if (!container) co_return error(Errc::not_found, logical);
+  for (std::size_t b = 0; b < mount_.backends.size(); ++b) {
+    const std::string root = lay.container_on(b);
+    auto entries = co_await fs_.readdir(ctx, root);
+    if (!entries.ok()) {
+      if (entries.status().code() == Errc::not_found) continue;
+      co_return entries.status();
+    }
+    for (const auto& e : *entries) {
+      const std::string child = path_join(root, e.name);
+      if (e.is_dir) {
+        auto inner = co_await fs_.readdir(ctx, child);
+        if (inner.ok()) {
+          for (const auto& f : *inner) {
+            TIO_CO_RETURN_IF_ERROR(co_await fs_.unlink(ctx, path_join(child, f.name)));
+          }
+        }
+        TIO_CO_RETURN_IF_ERROR(co_await fs_.rmdir(ctx, child));
+      } else {
+        TIO_CO_RETURN_IF_ERROR(co_await fs_.unlink(ctx, child));
+      }
+    }
+    TIO_CO_RETURN_IF_ERROR(co_await fs_.rmdir(ctx, root));
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace tio::plfs

@@ -1,0 +1,92 @@
+#include "plfs/vfs.h"
+
+namespace tio::plfs {
+
+sim::Task<Result<PlfsVfs::Fd>> PlfsVfs::open(pfs::IoCtx ctx, std::string path,
+                                             pfs::OpenFlags flags) {
+  if (flags.read && flags.write) {
+    co_return error(Errc::unsupported,
+                    "PLFS does not support read-write opens (see paper, Section IV-D3)");
+  }
+  if (flags.write) {
+    auto wh = co_await plfs_->open_write(ctx, std::move(path), next_writer_id_++);
+    if (!wh.ok()) co_return wh.status();
+    const Fd fd = next_fd_++;
+    writers_[fd] = std::move(wh.value());
+    co_return fd;
+  }
+  if (!flags.read) co_return error(Errc::invalid, "open needs read or write");
+  // Uncoordinated read: this descriptor aggregates the index on its own.
+  auto rh = co_await plfs_->open_read(ctx, std::move(path));
+  if (!rh.ok()) co_return rh.status();
+  const Fd fd = next_fd_++;
+  readers_[fd] = std::move(rh.value());
+  co_return fd;
+}
+
+sim::Task<Result<std::uint64_t>> PlfsVfs::pwrite(pfs::IoCtx ctx, Fd fd, std::uint64_t offset,
+                                                 DataView data) {
+  (void)ctx;
+  const auto it = writers_.find(fd);
+  if (it == writers_.end()) {
+    co_return error(readers_.contains(fd) ? Errc::permission : Errc::bad_handle, "pwrite");
+  }
+  const std::uint64_t len = data.size();
+  TIO_CO_RETURN_IF_ERROR(co_await it->second->write(offset, std::move(data)));
+  co_return len;
+}
+
+sim::Task<Result<FragmentList>> PlfsVfs::pread(pfs::IoCtx ctx, Fd fd, std::uint64_t offset,
+                                               std::uint64_t len) {
+  (void)ctx;
+  const auto it = readers_.find(fd);
+  if (it == readers_.end()) {
+    co_return error(writers_.contains(fd) ? Errc::permission : Errc::bad_handle, "pread");
+  }
+  co_return co_await it->second->read(offset, len);
+}
+
+sim::Task<Status> PlfsVfs::close(pfs::IoCtx ctx, Fd fd) {
+  (void)ctx;
+  if (const auto it = writers_.find(fd); it != writers_.end()) {
+    const Status st = co_await it->second->close();
+    writers_.erase(it);
+    co_return st;
+  }
+  if (const auto it = readers_.find(fd); it != readers_.end()) {
+    const Status st = co_await it->second->close();
+    readers_.erase(it);
+    co_return st;
+  }
+  co_return error(Errc::bad_handle, "close");
+}
+
+sim::Task<Result<pfs::StatInfo>> PlfsVfs::stat(pfs::IoCtx ctx, const std::string& path) {
+  TIO_CO_ASSIGN_OR_RETURN(bool container, co_await plfs_->is_container(ctx, path));
+  if (container) {
+    // Logical size comes from the droppings — no index aggregation.
+    TIO_CO_ASSIGN_OR_RETURN(std::uint64_t size, co_await plfs_->logical_size(ctx, path));
+    pfs::StatInfo info;
+    info.is_dir = false;
+    info.size = size;
+    co_return info;
+  }
+  // Plain directory (or missing): consult the canonical backend.
+  const ContainerLayout lay = plfs_->layout(path);
+  co_return co_await plfs_->backend_fs().stat(ctx, lay.canonical_container());
+}
+
+sim::Task<Result<std::vector<pfs::DirEntry>>> PlfsVfs::readdir(pfs::IoCtx ctx,
+                                                               std::string dir) {
+  co_return co_await plfs_->readdir(ctx, std::move(dir));
+}
+
+sim::Task<Status> PlfsVfs::mkdir(pfs::IoCtx ctx, std::string dir) {
+  co_return co_await plfs_->mkdir(ctx, std::move(dir));
+}
+
+sim::Task<Status> PlfsVfs::unlink(pfs::IoCtx ctx, const std::string& path) {
+  co_return co_await plfs_->unlink(ctx, path);
+}
+
+}  // namespace tio::plfs

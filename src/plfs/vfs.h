@@ -1,0 +1,61 @@
+// PlfsVfs: the POSIX-style facade (the paper's FUSE interface).
+//
+// Section II lists three ways to use PLFS: a FUSE mount point, direct
+// library linkage, and the MPI-IO/ADIO driver. This class is the FUSE-shaped
+// surface: file-descriptor open/pread/pwrite/close plus namespace
+// operations, routing logical files to containers transparently.
+//
+// Faithful quirks from the paper:
+//   * No read-write opens. "PLFS does not support read-write access to
+//     files accessed by multiple processes at the same time" — the authors
+//     modified IOR and MADbench to drop O_RDWR. We return UNSUPPORTED.
+//   * stat() on a container reports the *logical* size, resolved from the
+//     meta droppings without any index aggregation.
+//   * Reads through this interface are uncoordinated — each descriptor
+//     aggregates the index itself (the Original design). Coordinated
+//     strategies need the communicator and live in plfs/mpiio.h; this
+//     asymmetry is exactly why the paper added the MPI-IO interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "plfs/plfs.h"
+
+namespace tio::plfs {
+
+class PlfsVfs {
+ public:
+  explicit PlfsVfs(Plfs& plfs) : plfs_(&plfs) {}
+
+  using Fd = int;
+
+  // Write opens create the container (create flag implied, like a FUSE
+  // O_CREAT|O_WRONLY); each open descriptor becomes a distinct writer with
+  // its own data/index log. Read-write opens are rejected.
+  sim::Task<Result<Fd>> open(pfs::IoCtx ctx, std::string path, pfs::OpenFlags flags);
+  sim::Task<Result<std::uint64_t>> pwrite(pfs::IoCtx ctx, Fd fd, std::uint64_t offset,
+                                          DataView data);
+  sim::Task<Result<FragmentList>> pread(pfs::IoCtx ctx, Fd fd, std::uint64_t offset,
+                                        std::uint64_t len);
+  sim::Task<Status> close(pfs::IoCtx ctx, Fd fd);
+
+  // Namespace operations (delegated to the PLFS core).
+  sim::Task<Result<pfs::StatInfo>> stat(pfs::IoCtx ctx, const std::string& path);
+  sim::Task<Result<std::vector<pfs::DirEntry>>> readdir(pfs::IoCtx ctx, std::string dir);
+  sim::Task<Status> mkdir(pfs::IoCtx ctx, std::string dir);
+  sim::Task<Status> unlink(pfs::IoCtx ctx, const std::string& path);
+
+  std::size_t open_descriptors() const { return writers_.size() + readers_.size(); }
+  Plfs& plfs() { return *plfs_; }
+
+ private:
+  Plfs* plfs_;
+  Fd next_fd_ = 3;         // 0/1/2 taken, as tradition demands
+  int next_writer_id_ = 0; // unique "pid" per write-open
+  std::unordered_map<Fd, std::unique_ptr<WriteHandle>> writers_;
+  std::unordered_map<Fd, std::unique_ptr<ReadHandle>> readers_;
+};
+
+}  // namespace tio::plfs

@@ -1,0 +1,72 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+namespace tio::sim {
+namespace {
+
+// Self-destroying driver coroutine that owns a detached process's Task.
+struct Driver {
+  struct promise_type {
+    Driver get_return_object() {
+      return Driver{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }  // frame self-destructs
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> h;
+};
+
+Driver drive(Engine* engine, Task<void> process) {
+  struct Done {
+    Engine* engine;
+    ~Done() { engine->notify_process_finished(); }
+  } done{engine};
+  try {
+    co_await std::move(process);
+  } catch (...) {
+    engine->record_process_error(std::current_exception());
+  }
+}
+
+}  // namespace
+
+Engine::~Engine() = default;
+
+void Engine::at(TimePoint t, MoveFn<void()> fn) {
+  if (t < now_) throw std::logic_error("Engine::at: scheduling into the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Engine::spawn(Task<void> process) {
+  ++processes_alive_;
+  const auto h = drive(this, std::move(process)).h;
+  after(Duration::zero(), [h] { h.resume(); });
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because pop() immediately removes the moved-from node.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  if (ev.fn) ev.fn();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t start = events_processed_;
+  while (step()) {
+  }
+  if (process_error_) {
+    auto err = std::exchange(process_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+  return events_processed_ - start;
+}
+
+}  // namespace tio::sim

@@ -1,0 +1,96 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a (time, sequence)-ordered event
+// queue; ties are broken by insertion order, so runs are bit-reproducible.
+// Simulated processes are Task<void> coroutines spawned on the engine; they
+// advance the clock only by awaiting timers, resources, and channels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/function.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace tio::sim {
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  void at(TimePoint t, MoveFn<void()> fn);
+  void after(Duration d, MoveFn<void()> fn) { at(now_ + clamp(d), std::move(fn)); }
+
+  // Awaitable timer: co_await engine.sleep(d).
+  struct SleepAwaiter {
+    Engine* engine;
+    Duration d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->after(d, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  SleepAwaiter sleep(Duration d) { return SleepAwaiter{this, d}; }
+
+  // Reschedules the caller at the current time, behind already-queued events
+  // (a fairness yield).
+  SleepAwaiter yield() { return SleepAwaiter{this, Duration::zero()}; }
+
+  // Starts a detached process. The coroutine frame is owned by the engine
+  // and released when the process finishes. Start happens via the event
+  // queue at the current time.
+  void spawn(Task<void> process);
+
+  // Runs until the event queue is empty. Throws if a detached process threw.
+  // Returns the number of events processed.
+  std::uint64_t run();
+  // Processes a single event; returns false when the queue is empty.
+  bool step();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t processes_alive() const { return processes_alive_; }
+
+  Rng& rng() { return rng_; }
+  Rng fork_rng(std::uint64_t stream) const { return rng_.fork(stream); }
+
+  // Internal: called by the detached-process driver.
+  void notify_process_finished() { --processes_alive_; }
+  void record_process_error(std::exception_ptr e) {
+    if (!process_error_) process_error_ = std::move(e);
+  }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    MoveFn<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  static Duration clamp(Duration d) { return d < Duration::zero() ? Duration::zero() : d; }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t processes_alive_ = 0;
+  std::exception_ptr process_error_;
+  Rng rng_;
+};
+
+}  // namespace tio::sim

@@ -1,0 +1,72 @@
+#include "sim/fairshare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tio::sim {
+
+namespace {
+// Virtual-progress slack (bytes) absorbing integer-ns rounding of event
+// times; completions within this of their target are taken as done.
+constexpr double kSlackBytes = 1e-3;
+}  // namespace
+
+FairShareChannel::FairShareChannel(Engine& engine, double capacity_bytes_per_sec,
+                                   double per_stream_cap_bytes_per_sec, std::string name)
+    : engine_(engine),
+      capacity_(capacity_bytes_per_sec),
+      stream_cap_(per_stream_cap_bytes_per_sec),
+      name_(std::move(name)),
+      last_update_(engine.now()) {
+  if (capacity_ <= 0) throw std::invalid_argument("FairShareChannel: capacity must be > 0");
+  if (stream_cap_ <= 0) throw std::invalid_argument("FairShareChannel: stream cap must be > 0");
+}
+
+double FairShareChannel::current_rate() const {
+  if (active_.empty()) return 0;
+  return std::min(stream_cap_, capacity_ / static_cast<double>(active_.size()));
+}
+
+void FairShareChannel::advance_progress() {
+  const TimePoint now = engine_.now();
+  const double rate = current_rate();
+  if (rate > 0) progress_ += rate * (now - last_update_).to_seconds();
+  last_update_ = now;
+}
+
+void FairShareChannel::start_transfer(std::uint64_t bytes, std::coroutine_handle<> h) {
+  advance_progress();
+  active_.push(Flow{progress_ + static_cast<double>(bytes), seq_++, h});
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  stats_.max_concurrency = std::max(stats_.max_concurrency, active_.size());
+  schedule_next_completion();
+}
+
+void FairShareChannel::schedule_next_completion() {
+  ++generation_;  // invalidate any previously scheduled completion
+  if (active_.empty()) return;
+  const double rate = current_rate();
+  const double remaining = std::max(0.0, active_.top().finish_progress - progress_);
+  // Round up and add 1 ns so the event never fires short of the target.
+  const auto ns = static_cast<std::int64_t>(std::ceil(remaining / rate * 1e9)) + 1;
+  const std::uint64_t expect = generation_;
+  engine_.after(Duration::ns(ns), [this, expect] { on_completion_event(expect); });
+}
+
+void FairShareChannel::on_completion_event(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by membership change
+  advance_progress();
+  std::vector<std::coroutine_handle<>> finished;
+  while (!active_.empty() && active_.top().finish_progress <= progress_ + kSlackBytes) {
+    finished.push_back(active_.top().handle);
+    active_.pop();
+  }
+  for (auto h : finished) {
+    engine_.after(Duration::zero(), [h] { h.resume(); });
+  }
+  schedule_next_completion();
+}
+
+}  // namespace tio::sim

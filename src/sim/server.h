@@ -1,0 +1,47 @@
+// FCFS queueing server: the model for metadata servers, disk controllers,
+// and any resource with a bounded number of service slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace tio::sim {
+
+class FcfsServer {
+ public:
+  FcfsServer(Engine& engine, std::size_t concurrency, std::string name = "server")
+      : engine_(engine), sem_(engine, concurrency), name_(std::move(name)) {}
+
+  // Queue for a slot, hold it for `service`, release. The queueing delay
+  // plus service time is charged to the awaiting process.
+  Task<void> serve(Duration service) {
+    const TimePoint arrival = engine_.now();
+    co_await sem_.acquire();
+    SemGuard guard(sem_);
+    stats_.queue_wait += engine_.now() - arrival;
+    stats_.busy += service;
+    ++stats_.ops;
+    co_await engine_.sleep(service);
+  }
+
+  struct Stats {
+    std::uint64_t ops = 0;
+    Duration busy = Duration::zero();
+    Duration queue_wait = Duration::zero();
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t queue_length() const { return sem_.queue_length(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  Engine& engine_;
+  Semaphore sem_;
+  std::string name_;
+  Stats stats_;
+};
+
+}  // namespace tio::sim

@@ -1,0 +1,64 @@
+// Phase-timing harness: runs a bulk-synchronous write job and a restart
+// (read) job against a Target and reports the paper's metrics — open, I/O,
+// and close phase times, and effective bandwidth, which the paper defines
+// to include open and close time (Section IV, note 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+#include "workloads/target.h"
+
+namespace tio::workloads {
+
+struct IoOp {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+};
+// Per-rank op list for a given job size.
+using OpGen = std::function<std::vector<IoOp>(int rank, int nprocs)>;
+// Custom phase body (used by the formatting-library kernels).
+using PhaseFn = std::function<sim::Task<Status>(mpi::Comm&, Target&)>;
+
+struct PhaseTimes {
+  double open_s = 0;
+  double io_s = 0;
+  double close_s = 0;
+  std::uint64_t bytes = 0;
+  double total_s() const { return open_s + io_s + close_s; }
+  // Effective bandwidth (bytes/s) including open and close.
+  double effective_bw() const { return total_s() > 0 ? static_cast<double>(bytes) / total_s() : 0; }
+};
+
+struct JobSpec {
+  std::string file = "ckpt";
+  OpGen ops;            // write ops; also the read pattern unless read_ops set
+  OpGen read_ops;
+  PhaseFn write_fn;     // overrides `ops` for the write phase when set
+  PhaseFn read_fn;      // overrides read ops when set
+  TargetOptions target;
+  bool do_write = true;
+  bool do_read = true;
+  bool verify = true;            // reads are checked against written content
+  bool drop_caches_before_read = false;
+  int read_nprocs = 0;           // 0 = same as the write job
+  std::uint64_t seed = 0x5eedf00d;
+  std::uint64_t bytes_override = 0;  // phase byte count when write_fn/read_fn used
+};
+
+struct JobResult {
+  PhaseTimes write;
+  PhaseTimes read;
+};
+
+// Runs the job on `nprocs` simulated ranks. Throws on any I/O failure (the
+// benches must not silently report nonsense).
+JobResult run_job(testbed::Rig& rig, int nprocs, const JobSpec& spec);
+
+// Sum of op bytes over all ranks (the denominator of effective bandwidth).
+std::uint64_t total_bytes(const OpGen& gen, int nprocs);
+
+}  // namespace tio::workloads

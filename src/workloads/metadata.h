@@ -1,0 +1,31 @@
+// Metadata-storm harness for the federated-MDS experiments (Figs. 7, 8b-d).
+//
+// N-N storm: every process opens (creating) and closes many unique files in
+// one shared logical directory — the create phase of an N-N checkpoint.
+// N-1 storm: every process write-opens the same logical file — PLFS's
+// container/subdir creation burst.
+#pragma once
+
+#include <cstdint>
+
+#include "testbed/testbed.h"
+
+namespace tio::workloads {
+
+struct MetaSpec {
+  int files_per_proc = 1;
+  bool use_plfs = true;
+  bool shared_file = false;  // true = N-1 storm, false = N-N storm
+  std::string dir = "meta";
+};
+
+struct MetaResult {
+  double open_s = 0;   // includes creation (paper Fig. 7a)
+  double close_s = 0;  // (paper Fig. 7b)
+};
+
+// Runs the storm on `nprocs` ranks; phases are separated by barriers and
+// timed on rank 0.
+MetaResult run_metadata_storm(testbed::Rig& rig, int nprocs, const MetaSpec& spec);
+
+}  // namespace tio::workloads

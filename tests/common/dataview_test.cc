@@ -1,0 +1,118 @@
+#include "common/dataview.h"
+
+#include <gtest/gtest.h>
+
+namespace tio {
+namespace {
+
+TEST(DataView, ZerosHaveZeroContent) {
+  const auto v = DataView::zeros(16);
+  EXPECT_EQ(v.size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(v.at(i), std::byte{0});
+}
+
+TEST(DataView, PatternIsDeterministicFunctionOfSeedAndIndex) {
+  const auto a = DataView::pattern(7, 0, 64);
+  const auto b = DataView::pattern(7, 0, 64);
+  EXPECT_TRUE(a.content_equals(b));
+  const auto c = DataView::pattern(8, 0, 64);
+  EXPECT_FALSE(a.content_equals(c));
+}
+
+TEST(DataView, PatternSliceMatchesShiftedBase) {
+  const auto whole = DataView::pattern(42, 100, 64);
+  const auto s = whole.slice(10, 20);
+  const auto direct = DataView::pattern(42, 110, 20);
+  EXPECT_TRUE(s.content_equals(direct));
+}
+
+TEST(DataView, SliceOutOfRangeThrows) {
+  const auto v = DataView::pattern(1, 0, 10);
+  EXPECT_THROW(v.slice(5, 6), std::out_of_range);
+  EXPECT_THROW(v.at(10), std::out_of_range);
+  EXPECT_NO_THROW(v.slice(10, 0));
+}
+
+TEST(DataView, LiteralRoundTrip) {
+  const auto v = DataView::literal_string("hello world");
+  EXPECT_EQ(v.size(), 11u);
+  EXPECT_EQ(v.to_string(), "hello world");
+  EXPECT_EQ(v.slice(6, 5).to_string(), "world");
+}
+
+TEST(DataView, LiteralVsPatternContentComparison) {
+  const auto p = DataView::pattern(3, 0, 32);
+  const auto lit = DataView::literal(p.to_bytes());
+  EXPECT_TRUE(p.content_equals(lit));
+  EXPECT_TRUE(lit.content_equals(p));
+  auto bytes = p.to_bytes();
+  bytes[13] ^= std::byte{0xff};
+  EXPECT_FALSE(p.content_equals(DataView::literal(bytes)));
+}
+
+TEST(DataView, ToBytesMatchesAt) {
+  const auto v = DataView::pattern(99, 5, 100);
+  const auto bytes = v.to_bytes();
+  ASSERT_EQ(bytes.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(bytes[i], v.at(i));
+}
+
+TEST(DataView, EmptyViewsCompareEqual) {
+  EXPECT_TRUE(DataView().content_equals(DataView::zeros(0)));
+  EXPECT_TRUE(DataView::pattern(1, 2, 0).content_equals(DataView::literal({})));
+}
+
+TEST(FragmentList, StitchesFragmentsInOrder) {
+  const auto whole = DataView::pattern(5, 0, 90);
+  FragmentList fl;
+  fl.append(whole.slice(0, 30));
+  fl.append(whole.slice(30, 40));
+  fl.append(whole.slice(70, 20));
+  EXPECT_EQ(fl.size(), 90u);
+  EXPECT_TRUE(fl.content_equals(whole));
+}
+
+TEST(FragmentList, DetectsContentMismatch) {
+  const auto whole = DataView::pattern(5, 0, 60);
+  FragmentList fl;
+  fl.append(whole.slice(0, 30));
+  fl.append(DataView::pattern(6, 30, 30));  // wrong seed for the tail
+  EXPECT_FALSE(fl.content_equals(whole));
+}
+
+TEST(FragmentList, SizeMismatchIsNotEqual) {
+  FragmentList fl;
+  fl.append(DataView::zeros(10));
+  EXPECT_FALSE(fl.content_equals(DataView::zeros(11)));
+}
+
+TEST(FragmentList, EmptyFragmentsAreDropped) {
+  FragmentList fl;
+  fl.append(DataView());
+  fl.append(DataView::zeros(0));
+  EXPECT_TRUE(fl.empty());
+  EXPECT_TRUE(fl.fragments().empty());
+}
+
+TEST(FragmentList, AtIndexesAcrossFragments) {
+  const auto whole = DataView::pattern(11, 0, 20);
+  FragmentList fl;
+  fl.append(whole.slice(0, 7));
+  fl.append(whole.slice(7, 13));
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(fl.at(i), whole.at(i));
+  EXPECT_THROW(fl.at(20), std::out_of_range);
+}
+
+TEST(FragmentList, CrossFragmentListEquality) {
+  const auto whole = DataView::pattern(11, 0, 50);
+  FragmentList a;
+  a.append(whole.slice(0, 25));
+  a.append(whole.slice(25, 25));
+  FragmentList b;
+  b.append(whole.slice(0, 10));
+  b.append(whole.slice(10, 40));
+  EXPECT_TRUE(a.content_equals(b));
+}
+
+}  // namespace
+}  // namespace tio

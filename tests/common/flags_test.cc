@@ -1,0 +1,95 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tio {
+namespace {
+
+// Builds a mutable argv from string literals (parse skips argv[0]).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : store_(std::move(args)) {
+    store_.insert(store_.begin(), "prog");
+    for (auto& s : store_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> store_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Flags, ParsesAllTypesWithEquals) {
+  FlagSet fs;
+  auto* n = fs.add_i64("n", 1, "count");
+  auto* r = fs.add_f64("rate", 0.5, "rate");
+  auto* v = fs.add_bool("verbose", false, "verbosity");
+  auto* s = fs.add_string("name", "x", "name");
+  Argv a({"--n=42", "--rate=2.5", "--verbose=true", "--name=plfs"});
+  ASSERT_TRUE(fs.parse(a.argc(), a.argv()).ok());
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*r, 2.5);
+  EXPECT_TRUE(*v);
+  EXPECT_EQ(*s, "plfs");
+}
+
+TEST(Flags, ParsesSpaceSeparatedValues) {
+  FlagSet fs;
+  auto* n = fs.add_i64("n", 1, "count");
+  Argv a({"--n", "17"});
+  ASSERT_TRUE(fs.parse(a.argc(), a.argv()).ok());
+  EXPECT_EQ(*n, 17);
+}
+
+TEST(Flags, BoolShorthandAndNegation) {
+  FlagSet fs;
+  auto* v = fs.add_bool("verbose", false, "");
+  auto* w = fs.add_bool("cache", true, "");
+  Argv a({"--verbose", "--no-cache"});
+  ASSERT_TRUE(fs.parse(a.argc(), a.argv()).ok());
+  EXPECT_TRUE(*v);
+  EXPECT_FALSE(*w);
+}
+
+TEST(Flags, UnknownFlagIsError) {
+  FlagSet fs;
+  Argv a({"--bogus=1"});
+  EXPECT_EQ(fs.parse(a.argc(), a.argv()).code(), Errc::invalid);
+}
+
+TEST(Flags, BadIntValueIsError) {
+  FlagSet fs;
+  fs.add_i64("n", 1, "");
+  Argv a({"--n=twelve"});
+  EXPECT_EQ(fs.parse(a.argc(), a.argv()).code(), Errc::invalid);
+}
+
+TEST(Flags, MissingValueIsError) {
+  FlagSet fs;
+  fs.add_i64("n", 1, "");
+  Argv a({"--n"});
+  EXPECT_EQ(fs.parse(a.argc(), a.argv()).code(), Errc::invalid);
+}
+
+TEST(Flags, DefaultsSurviveEmptyArgv) {
+  FlagSet fs;
+  auto* n = fs.add_i64("n", 7, "");
+  Argv a({});
+  ASSERT_TRUE(fs.parse(a.argc(), a.argv()).ok());
+  EXPECT_EQ(*n, 7);
+}
+
+TEST(Flags, UsageMentionsFlagsAndDefaults) {
+  FlagSet fs("my tool");
+  fs.add_i64("procs", 64, "process count");
+  const std::string u = fs.usage();
+  EXPECT_NE(u.find("procs"), std::string::npos);
+  EXPECT_NE(u.find("64"), std::string::npos);
+  EXPECT_NE(u.find("my tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tio

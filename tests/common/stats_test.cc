@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tio {
+namespace {
+
+TEST(Series, MeanAndSum) {
+  Series s;
+  s.add(1);
+  s.add(2);
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Series, StddevOfConstantIsZero) {
+  Series s;
+  for (int i = 0; i < 5; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Series, SampleStddev) {
+  Series s;  // {2, 4, 4, 4, 5, 5, 7, 9}: sample stddev = sqrt(32/7)
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138089935, 1e-9);
+}
+
+TEST(Series, StddevOfSingleSampleIsZero) {
+  Series s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Series, MinMax) {
+  Series s;
+  for (double v : {5.0, -1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Series, Percentiles) {
+  Series s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Series, EmptyThrows) {
+  Series s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace tio

@@ -1,0 +1,91 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tio {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(50_MiB, 50ull * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1ull << 30);
+  EXPECT_EQ(1_GB, 1000000000ull);
+}
+
+TEST(Duration, ConstructorsAndConversions) {
+  EXPECT_EQ(Duration::us(3).to_ns(), 3000);
+  EXPECT_EQ(Duration::ms(2).to_ns(), 2000000);
+  EXPECT_EQ(Duration::sec(1).to_ns(), 1000000000);
+  EXPECT_DOUBLE_EQ(Duration::ms(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::us(1500).to_ms(), 1.5);
+  EXPECT_EQ(Duration::seconds(0.5).to_ns(), 500000000);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto d = Duration::ms(10) + Duration::us(500) - Duration::us(200);
+  EXPECT_EQ(d.to_ns(), 10300000);
+  EXPECT_EQ((Duration::ms(3) * 4).to_ns(), 12000000);
+  EXPECT_EQ((Duration::ms(10) / 4).to_ns(), 2500000);
+  EXPECT_LT(Duration::us(1), Duration::ms(1));
+}
+
+TEST(TimePoint, Arithmetic) {
+  const auto t0 = TimePoint::from_ns(100);
+  const auto t1 = t0 + Duration::ns(50);
+  EXPECT_EQ(t1.to_ns(), 150);
+  EXPECT_EQ((t1 - t0).to_ns(), 50);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TransferTime, BasicRates) {
+  // 1 MiB at 1 MiB/s = 1 s.
+  EXPECT_EQ(transfer_time(1_MiB, static_cast<double>(1_MiB)).to_ns(), 1000000000);
+  EXPECT_EQ(transfer_time(0, 100.0), Duration::zero());
+  // Nonzero transfers always take at least 1 ns.
+  EXPECT_GE(transfer_time(1, 1e18).to_ns(), 1);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowAndBetweenInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const auto v = r.between(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  const Rng base(77);
+  Rng f1 = base.fork(1);
+  Rng f1b = base.fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_EQ(f1.next(), f1b.next());
+  EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Hash, SplitmixAndCombineAreStable) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace tio

@@ -1,0 +1,108 @@
+#include "net/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tio::net {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig c;
+  c.nodes = 4;
+  c.cores_per_node = 2;
+  c.nic_bandwidth = 1e9;
+  c.fabric_latency = Duration::us(2);
+  c.storage_net_bandwidth = 1e8;
+  c.storage_nic_bandwidth = 1e8;
+  return c;
+}
+
+TEST(Cluster, ConfigSanity) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  EXPECT_EQ(c.nodes(), 4u);
+  EXPECT_EQ(c.config().total_cores(), 8u);
+}
+
+TEST(Cluster, ZeroNodesThrows) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(Cluster(e, cfg), std::invalid_argument);
+}
+
+TEST(Cluster, FabricTransferChargesLatencyPlusBandwidth) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  test::run_task(e, c.fabric_transfer(0, 1, 1000000));  // 1 MB at 1 GB/s
+  // Store-and-forward: 1 ms out + 2 us + 1 ms in (the channel rounds each
+  // completion up by <= 2 ns).
+  EXPECT_NEAR(static_cast<double>(e.now().to_ns()),
+              static_cast<double>(Duration::ms(2).to_ns() + Duration::us(2).to_ns()), 10.0);
+}
+
+TEST(Cluster, IntraNodeTransferIsLatencyOnly) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  test::run_task(e, c.fabric_transfer(2, 2, 1000000000));
+  EXPECT_LT(e.now().to_ns(), Duration::us(1).to_ns());
+}
+
+TEST(Cluster, BadNodeIndexThrows) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  bool threw = false;
+  e.spawn([](Cluster& cl, bool& out) -> sim::Task<void> {
+    try {
+      co_await cl.fabric_transfer(0, 99, 10);
+    } catch (const std::out_of_range&) {
+      out = true;
+    }
+  }(c, threw));
+  e.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Cluster, ConcurrentSendersShareSenderNic) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  // Two 1 MB messages from node 0 to nodes 1 and 2 share node 0's uplink:
+  // 2 MB through 1 GB/s NIC ≈ 2 ms before receive legs.
+  double done1 = 0, done2 = 0;
+  auto send = [](Cluster& cl, std::size_t to, double* out) -> sim::Task<void> {
+    co_await cl.fabric_transfer(0, to, 1000000);
+    *out = cl.engine().now().to_seconds();
+  };
+  e.spawn(send(c, 1, &done1));
+  e.spawn(send(c, 2, &done2));
+  e.run();
+  EXPECT_NEAR(done1, 0.003, 1e-4);  // 2 ms shared uplink + 1 ms receive
+  EXPECT_NEAR(done2, 0.003, 1e-4);
+}
+
+TEST(Cluster, StorageNetIsSharedAcrossNodes) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  // 4 streams of 25 MB into a 100 MB/s pipe: all finish at ~1 s.
+  int finished = 0;
+  auto push = [](Cluster& cl, int* n) -> sim::Task<void> {
+    co_await cl.storage_net().transfer(25000000);
+    ++*n;
+  };
+  for (int i = 0; i < 4; ++i) e.spawn(push(c, &finished));
+  e.run();
+  EXPECT_EQ(finished, 4);
+  EXPECT_NEAR(e.now().to_seconds(), 1.0, 1e-3);
+}
+
+TEST(Cluster, PerNodePageCachesAreIndependent) {
+  sim::Engine e;
+  Cluster c(e, small_config());
+  c.page_cache(0).fill(7, 0, 1_MiB);
+  EXPECT_GT(c.page_cache(0).lookup(7, 0, 1_MiB), 0u);
+  EXPECT_EQ(c.page_cache(1).lookup(7, 0, 1_MiB), 0u);
+}
+
+}  // namespace
+}  // namespace tio::net

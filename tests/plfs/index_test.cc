@@ -1,0 +1,225 @@
+#include "plfs/index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace tio::plfs {
+namespace {
+
+IndexEntry entry(std::uint64_t log, std::uint64_t len, std::uint64_t phys, std::int64_t ts,
+                 std::uint32_t writer) {
+  return IndexEntry{log, len, phys, ts, writer};
+}
+
+TEST(IndexSerialization, RoundTrip) {
+  std::vector<IndexEntry> in = {
+      entry(0, 100, 0, 1, 0),
+      entry(100, 50, 100, 2, 3),
+      entry(0, 10, 150, 3, 7),
+  };
+  const auto bytes = serialize_entries(in);
+  EXPECT_EQ(bytes.size(), in.size() * IndexEntry::kSerializedSize);
+  FragmentList fl;
+  fl.append(DataView::literal(bytes));
+  auto out = deserialize_entries(fl);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(IndexSerialization, EmptyIsValid) {
+  FragmentList fl;
+  auto out = deserialize_entries(fl);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(IndexSerialization, PartialRecordIsError) {
+  FragmentList fl;
+  fl.append(DataView::zeros(IndexEntry::kSerializedSize + 7));
+  EXPECT_EQ(deserialize_entries(fl).status().code(), Errc::io_error);
+}
+
+TEST(IndexSerialization, SurvivesFragmentation) {
+  std::vector<IndexEntry> in = {entry(1, 2, 3, 4, 5), entry(6, 7, 8, 9, 10)};
+  const auto bytes = serialize_entries(in);
+  const auto whole = DataView::literal(bytes);
+  FragmentList fl;
+  fl.append(whole.slice(0, 13));
+  fl.append(whole.slice(13, bytes.size() - 13));
+  auto out = deserialize_entries(fl);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Index, EmptyIndex) {
+  const Index idx = Index::build({});
+  EXPECT_EQ(idx.logical_size(), 0u);
+  EXPECT_TRUE(idx.lookup(0, 100).empty());
+  EXPECT_EQ(idx.mapping_count(), 0u);
+}
+
+TEST(Index, SingleEntryLookup) {
+  const Index idx = Index::build({entry(100, 50, 0, 1, 2)});
+  auto m = idx.lookup(100, 50);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (Index::Mapping{100, 50, 2, 0}));
+  EXPECT_EQ(idx.logical_size(), 150u);
+}
+
+TEST(Index, LookupClipsToRequest) {
+  const Index idx = Index::build({entry(100, 100, 500, 1, 1)});
+  auto m = idx.lookup(150, 20);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].logical_offset, 150u);
+  EXPECT_EQ(m[0].length, 20u);
+  EXPECT_EQ(m[0].physical_offset, 550u);
+}
+
+TEST(Index, LaterTimestampWinsOnOverlap) {
+  const Index idx = Index::build({
+      entry(0, 100, 0, /*ts=*/10, /*writer=*/1),
+      entry(40, 20, 0, /*ts=*/20, /*writer=*/2),
+  });
+  auto m = idx.lookup(0, 100);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].writer, 1u);
+  EXPECT_EQ(m[0].length, 40u);
+  EXPECT_EQ(m[1].writer, 2u);
+  EXPECT_EQ(m[1].length, 20u);
+  EXPECT_EQ(m[2].writer, 1u);
+  EXPECT_EQ(m[2].logical_offset, 60u);
+  EXPECT_EQ(m[2].physical_offset, 60u);  // split keeps physical alignment
+}
+
+TEST(Index, BuildOrderDoesNotMatterTimestampsDo) {
+  const std::vector<IndexEntry> forward = {entry(0, 100, 0, 10, 1), entry(40, 20, 0, 20, 2)};
+  const std::vector<IndexEntry> reversed = {entry(40, 20, 0, 20, 2), entry(0, 100, 0, 10, 1)};
+  const Index a = Index::build(forward);
+  const Index b = Index::build(reversed);
+  EXPECT_EQ(a.lookup(0, 100), b.lookup(0, 100));
+}
+
+TEST(Index, OlderEntryNeverClobbersNewer) {
+  const Index idx = Index::build({
+      entry(0, 50, 0, /*ts=*/30, 1),   // newest, inserted last by sort
+      entry(0, 100, 0, /*ts=*/10, 2),  // oldest
+  });
+  auto m = idx.lookup(0, 100);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].writer, 1u);
+  EXPECT_EQ(m[0].length, 50u);
+  EXPECT_EQ(m[1].writer, 2u);
+  EXPECT_EQ(m[1].logical_offset, 50u);
+}
+
+TEST(Index, GapsAreOmittedFromLookup) {
+  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(100, 10, 10, 2, 1)});
+  auto m = idx.lookup(0, 200);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].logical_offset, 0u);
+  EXPECT_EQ(m[1].logical_offset, 100u);
+  EXPECT_EQ(idx.logical_size(), 110u);
+}
+
+TEST(Index, CompressesContiguousSameWriterEntries) {
+  // A sequential writer: 100 entries, logically and physically contiguous.
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back(entry(i * 1000, 1000, i * 1000, i + 1, 4));
+  }
+  const Index idx = Index::build(entries);
+  EXPECT_EQ(idx.mapping_count(), 1u);
+  EXPECT_EQ(idx.logical_size(), 100000u);
+  auto m = idx.lookup(55500, 1000);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].physical_offset, 55500u);
+}
+
+TEST(Index, DoesNotCompressAcrossWriters) {
+  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(10, 10, 0, 2, 2)});
+  EXPECT_EQ(idx.mapping_count(), 2u);
+}
+
+TEST(Index, DoesNotCompressNonContiguousPhysical) {
+  // N-1 strided writer: logical gaps between its records.
+  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(100, 10, 10, 2, 1)});
+  EXPECT_EQ(idx.mapping_count(), 2u);
+}
+
+TEST(Index, StridedPatternFromManyWritersStaysPerRecord) {
+  // 4 writers, stride 4: writer w owns records w, w+4, w+8 ... nothing
+  // merges because neighbours in logical space come from different writers.
+  std::vector<IndexEntry> entries;
+  const std::uint64_t rec = 100;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t w = i % 4;
+    entries.push_back(entry(i * rec, rec, (i / 4) * rec, i + 1, w));
+  }
+  const Index idx = Index::build(entries);
+  EXPECT_EQ(idx.mapping_count(), 64u);
+  // But every byte is mapped.
+  auto m = idx.lookup(0, 64 * rec);
+  EXPECT_EQ(m.size(), 64u);
+}
+
+TEST(Index, ToEntriesRoundTripsThroughBuild) {
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 10; ++i) entries.push_back(entry(i * 7, 7, i * 13, i, i % 3));
+  const Index idx = Index::build(entries);
+  const Index again = Index::build(idx.to_entries());
+  EXPECT_EQ(idx.lookup(0, 100), again.lookup(0, 100));
+  EXPECT_EQ(idx.logical_size(), again.logical_size());
+}
+
+TEST(Index, SerializedBytesTracksMappingCount) {
+  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(20, 10, 10, 2, 1)});
+  EXPECT_EQ(idx.serialized_bytes(), 2 * IndexEntry::kSerializedSize);
+}
+
+// Property test: random overlapping writes from several writers; the index
+// must agree with a byte-level reference that applies writes in timestamp
+// order.
+class IndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexProperty, MatchesReferenceUnderRandomOverlappingWrites) {
+  Rng rng(GetParam());
+  constexpr std::uint64_t kSize = 2000;
+  constexpr int kWriters = 4;
+  // reference[i] = (writer, physical offset) or (-1, 0) for holes.
+  std::vector<std::pair<int, std::uint64_t>> ref(kSize, {-1, 0});
+  std::vector<IndexEntry> entries;
+  std::vector<std::uint64_t> phys(kWriters, 0);
+
+  for (int op = 0; op < 200; ++op) {
+    const auto writer = static_cast<std::uint32_t>(rng.below(kWriters));
+    const std::uint64_t off = rng.below(kSize - 1);
+    const std::uint64_t len = 1 + rng.below(std::min<std::uint64_t>(kSize - off, 97) - 1 + 1);
+    entries.push_back(entry(off, len, phys[writer], op + 1, writer));
+    for (std::uint64_t i = 0; i < len; ++i) {
+      ref[off + i] = {static_cast<int>(writer), phys[writer] + i};
+    }
+    phys[writer] += len;
+  }
+  // Shuffle entry order to prove build() re-sorts by timestamp.
+  for (std::size_t i = entries.size(); i > 1; --i) {
+    std::swap(entries[i - 1], entries[rng.below(i)]);
+  }
+  const Index idx = Index::build(entries);
+
+  // Reconstruct a byte-level view from lookups and compare.
+  std::vector<std::pair<int, std::uint64_t>> got(kSize, {-1, 0});
+  for (const auto& m : idx.lookup(0, kSize)) {
+    for (std::uint64_t i = 0; i < m.length; ++i) {
+      got[m.logical_offset + i] = {static_cast<int>(m.writer), m.physical_offset + i};
+    }
+  }
+  EXPECT_EQ(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexProperty, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace tio::plfs

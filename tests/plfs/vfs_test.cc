@@ -1,0 +1,169 @@
+// Tests of the FUSE-style POSIX facade.
+#include "plfs/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "localfs/mem_fs.h"
+#include "testutil.h"
+
+namespace tio::plfs {
+namespace {
+
+using pfs::IoCtx;
+using pfs::OpenFlags;
+
+class PlfsVfsTest : public ::testing::Test {
+ protected:
+  PlfsVfsTest() : fs_(engine_), plfs_(fs_, mount()), vfs_(plfs_) {
+    for (const auto& b : plfs_.mount().backends) {
+      if (!fs_.ns().mkdir_all(b).ok()) std::abort();
+    }
+  }
+  static PlfsMount mount() {
+    PlfsMount m;
+    m.backends = {"/vol0/plfs", "/vol1/plfs"};
+    m.num_subdirs = 4;
+    return m;
+  }
+
+  sim::Engine engine_;
+  localfs::MemFs fs_;
+  Plfs plfs_;
+  PlfsVfs vfs_;
+  IoCtx ctx_{0, 0};
+};
+
+TEST_F(PlfsVfsTest, WriteThenReadRoundTrip) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    auto wfd = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    EXPECT_TRUE(wfd.ok()) << wfd.status();
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *wfd, 0, DataView::pattern(1, 0, 10000))).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *wfd)).ok());
+
+    auto rfd = co_await vfs.open(ctx, "/f", OpenFlags::ro());
+    EXPECT_TRUE(rfd.ok());
+    auto data = co_await vfs.pread(ctx, *rfd, 0, 10000);
+    EXPECT_TRUE(data.ok());
+    EXPECT_TRUE(data->content_equals(DataView::pattern(1, 0, 10000)));
+    EXPECT_TRUE((co_await vfs.close(ctx, *rfd)).ok());
+  }(vfs_, ctx_));
+  EXPECT_EQ(vfs_.open_descriptors(), 0u);
+}
+
+TEST_F(PlfsVfsTest, ReadWriteOpenIsUnsupportedLikeThePaperSays) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    auto fd = co_await vfs.open(ctx, "/f",
+                                OpenFlags{.read = true, .write = true, .create = true});
+    EXPECT_EQ(fd.status().code(), Errc::unsupported);
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, EachWriteOpenIsADistinctWriter) {
+  test::run_task(engine_, [](PlfsVfs& vfs, Plfs& plfs, localfs::MemFs& fs,
+                             IoCtx ctx) -> sim::Task<void> {
+    auto fd1 = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    auto fd2 = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    EXPECT_TRUE(fd1.ok());
+    EXPECT_TRUE(fd2.ok());
+    EXPECT_NE(*fd1, *fd2);
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *fd1, 0, DataView::pattern(1, 0, 100))).ok());
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *fd2, 100, DataView::pattern(1, 100, 100))).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *fd1)).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *fd2)).ok());
+    // Two distinct data logs exist in the container.
+    const auto lay = plfs.layout("/f");
+    EXPECT_TRUE(fs.ns().exists(lay.data_log_path(0)));
+    EXPECT_TRUE(fs.ns().exists(lay.data_log_path(1)));
+
+    auto rfd = co_await vfs.open(ctx, "/f", OpenFlags::ro());
+    auto data = co_await vfs.pread(ctx, *rfd, 0, 200);
+    EXPECT_TRUE(data->content_equals(DataView::pattern(1, 0, 200)));
+    EXPECT_TRUE((co_await vfs.close(ctx, *rfd)).ok());
+  }(vfs_, plfs_, fs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, WrongDirectionOnDescriptorIsPermissionError) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    auto wfd = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    EXPECT_EQ((co_await vfs.pread(ctx, *wfd, 0, 10)).status().code(), Errc::permission);
+    EXPECT_TRUE((co_await vfs.close(ctx, *wfd)).ok());
+    auto rfd = co_await vfs.open(ctx, "/f", OpenFlags::ro());
+    EXPECT_EQ((co_await vfs.pwrite(ctx, *rfd, 0, DataView::zeros(1))).status().code(),
+              Errc::permission);
+    EXPECT_TRUE((co_await vfs.close(ctx, *rfd)).ok());
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, BadFdIsRejected) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    EXPECT_EQ((co_await vfs.pread(ctx, 77, 0, 1)).status().code(), Errc::bad_handle);
+    EXPECT_EQ((co_await vfs.pwrite(ctx, 77, 0, DataView::zeros(1))).status().code(),
+              Errc::bad_handle);
+    EXPECT_EQ((co_await vfs.close(ctx, 77)).code(), Errc::bad_handle);
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, StatReportsLogicalSizeWithoutIndexAggregation) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    auto wfd = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    // Sparse write: logical size is 1 MiB despite only 100 bytes of data.
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *wfd, 1_MiB - 100, DataView::zeros(100))).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *wfd)).ok());
+    auto st = co_await vfs.stat(ctx, "/f");
+    EXPECT_TRUE(st.ok());
+    EXPECT_FALSE(st->is_dir);
+    EXPECT_EQ(st->size, 1_MiB);
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, StatOnPlainDirectory) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    EXPECT_TRUE((co_await vfs.mkdir(ctx, "/dir")).ok());
+    auto st = co_await vfs.stat(ctx, "/dir");
+    EXPECT_TRUE(st.ok());
+    EXPECT_TRUE(st->is_dir);
+    EXPECT_EQ((co_await vfs.stat(ctx, "/missing")).status().code(), Errc::not_found);
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, ReaddirShowsContainersAsFiles) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    EXPECT_TRUE((co_await vfs.mkdir(ctx, "/d")).ok());
+    auto wfd = co_await vfs.open(ctx, "/d/ckpt", OpenFlags::wr_create());
+    EXPECT_TRUE((co_await vfs.close(ctx, *wfd)).ok());
+    auto entries = co_await vfs.readdir(ctx, "/d");
+    EXPECT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), 1u);
+    EXPECT_EQ((*entries)[0], (pfs::DirEntry{"ckpt", false}));
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, UnlinkThroughVfs) {
+  test::run_task(engine_, [](PlfsVfs& vfs, IoCtx ctx) -> sim::Task<void> {
+    auto wfd = co_await vfs.open(ctx, "/gone", OpenFlags::wr_create());
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *wfd, 0, DataView::zeros(64))).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *wfd)).ok());
+    EXPECT_TRUE((co_await vfs.unlink(ctx, "/gone")).ok());
+    EXPECT_EQ((co_await vfs.open(ctx, "/gone", OpenFlags::ro())).status().code(),
+              Errc::not_found);
+  }(vfs_, ctx_));
+}
+
+TEST_F(PlfsVfsTest, OverwriteAcrossDescriptorsResolvesByTime) {
+  test::run_task(engine_, [](PlfsVfs& vfs, sim::Engine& engine, IoCtx ctx) -> sim::Task<void> {
+    auto fd1 = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    auto fd2 = co_await vfs.open(ctx, "/f", OpenFlags::wr_create());
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *fd1, 0, DataView::pattern(1, 0, 1000))).ok());
+    co_await engine.sleep(Duration::ms(1));
+    EXPECT_TRUE((co_await vfs.pwrite(ctx, *fd2, 0, DataView::pattern(2, 0, 1000))).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *fd1)).ok());
+    EXPECT_TRUE((co_await vfs.close(ctx, *fd2)).ok());
+    auto rfd = co_await vfs.open(ctx, "/f", OpenFlags::ro());
+    auto data = co_await vfs.pread(ctx, *rfd, 0, 1000);
+    EXPECT_TRUE(data->content_equals(DataView::pattern(2, 0, 1000)));  // later wins
+    EXPECT_TRUE((co_await vfs.close(ctx, *rfd)).ok());
+  }(vfs_, engine_, ctx_));
+}
+
+}  // namespace
+}  // namespace tio::plfs

@@ -1,0 +1,161 @@
+#include "sim/fairshare.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace tio::sim {
+namespace {
+
+constexpr double kMB = 1e6;
+
+Task<void> xfer(Engine& e, FairShareChannel& ch, std::uint64_t bytes, double* done_s) {
+  co_await ch.transfer(bytes);
+  *done_s = e.now().to_seconds();
+}
+
+Task<void> delayed_xfer(Engine& e, FairShareChannel& ch, Duration start, std::uint64_t bytes,
+                        double* done_s) {
+  co_await e.sleep(start);
+  co_await ch.transfer(bytes);
+  *done_s = e.now().to_seconds();
+}
+
+TEST(FairShare, SingleTransferRunsAtFullCapacity) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB);
+  double done = 0;
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(200 * kMB), &done));
+  e.run();
+  EXPECT_NEAR(done, 2.0, 1e-6);
+}
+
+TEST(FairShare, TwoEqualTransfersShareCapacity) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB);
+  double d1 = 0, d2 = 0;
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(100 * kMB), &d1));
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(100 * kMB), &d2));
+  e.run();
+  // Each gets 50 MB/s => both complete at 2 s.
+  EXPECT_NEAR(d1, 2.0, 1e-6);
+  EXPECT_NEAR(d2, 2.0, 1e-6);
+}
+
+TEST(FairShare, ShortTransferFinishesFirstThenLongSpeedsUp) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB);
+  double short_done = 0, long_done = 0;
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(50 * kMB), &short_done));
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(150 * kMB), &long_done));
+  e.run();
+  // Shared 50/50 until the short one finishes at t=1 (50 MB at 50 MB/s);
+  // the long one then has 100 MB left at full 100 MB/s => t=2.
+  EXPECT_NEAR(short_done, 1.0, 1e-6);
+  EXPECT_NEAR(long_done, 2.0, 1e-6);
+}
+
+TEST(FairShare, LateArrivalSlowsExistingTransfer) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB);
+  double d1 = 0, d2 = 0;
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(100 * kMB), &d1));
+  e.spawn(delayed_xfer(e, ch, Duration::seconds(0.5), static_cast<std::uint64_t>(100 * kMB), &d2));
+  e.run();
+  // First: 50 MB alone in 0.5 s, then 50 MB at 50 MB/s => done at 1.5 s.
+  // Second: 50 MB shared (t=0.5..1.5), then 50 MB alone (0.5 s) => 2.0 s.
+  EXPECT_NEAR(d1, 1.5, 1e-6);
+  EXPECT_NEAR(d2, 2.0, 1e-6);
+}
+
+TEST(FairShare, PerStreamCapLimitsLightLoad) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB, 10 * kMB);
+  double done = 0;
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(20 * kMB), &done));
+  e.run();
+  // Alone but capped at 10 MB/s => 2 s.
+  EXPECT_NEAR(done, 2.0, 1e-6);
+}
+
+TEST(FairShare, CapIgnoredWhenShareIsSmaller) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB, 30 * kMB);
+  std::vector<double> done(5, 0);
+  for (int i = 0; i < 5; ++i) {
+    e.spawn(xfer(e, ch, static_cast<std::uint64_t>(20 * kMB), &done[i]));
+  }
+  e.run();
+  // 5 streams share 100 => 20 MB/s each (below the 30 cap) => 1 s.
+  for (const double d : done) EXPECT_NEAR(d, 1.0, 1e-6);
+}
+
+TEST(FairShare, ZeroByteTransferCompletesInstantly) {
+  Engine e;
+  FairShareChannel ch(e, kMB);
+  double done = -1;
+  e.spawn(xfer(e, ch, 0, &done));
+  e.run();
+  EXPECT_EQ(done, 0.0);
+}
+
+TEST(FairShare, AggregateThroughputNeverExceedsCapacity) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB);
+  const int kStreams = 64;
+  std::vector<double> done(kStreams, 0);
+  std::uint64_t total = 0;
+  Rng r(7);
+  for (int i = 0; i < kStreams; ++i) {
+    const std::uint64_t bytes = (1 + r.below(50)) * static_cast<std::uint64_t>(kMB);
+    total += bytes;
+    e.spawn(xfer(e, ch, bytes, &done[i]));
+  }
+  e.run();
+  const double makespan = e.now().to_seconds();
+  // Work-conserving: all streams busy from t=0, so makespan == total/capacity.
+  EXPECT_NEAR(makespan, static_cast<double>(total) / (100 * kMB), 1e-3);
+  EXPECT_EQ(ch.stats().transfers, static_cast<std::uint64_t>(kStreams));
+  EXPECT_EQ(ch.stats().bytes, total);
+  EXPECT_EQ(ch.stats().max_concurrency, static_cast<std::size_t>(kStreams));
+}
+
+TEST(FairShare, ManyConcurrentStreamsComplete) {
+  Engine e;
+  FairShareChannel ch(e, 1e9);
+  const int kStreams = 10000;
+  int completions = 0;
+  auto t = [](FairShareChannel& c, int* n) -> Task<void> {
+    co_await c.transfer(1000000);
+    ++*n;
+  };
+  for (int i = 0; i < kStreams; ++i) e.spawn(t(ch, &completions));
+  e.run();
+  EXPECT_EQ(completions, kStreams);
+  EXPECT_NEAR(e.now().to_seconds(), 10.0, 0.01);  // 10 GB over 1 GB/s
+}
+
+TEST(FairShare, InvalidCapacityThrows) {
+  Engine e;
+  EXPECT_THROW(FairShareChannel(e, 0), std::invalid_argument);
+  EXPECT_THROW(FairShareChannel(e, -5), std::invalid_argument);
+  EXPECT_THROW(FairShareChannel(e, 10, 0), std::invalid_argument);
+}
+
+TEST(FairShare, CurrentRateReflectsMembership) {
+  Engine e;
+  FairShareChannel ch(e, 100 * kMB);
+  EXPECT_EQ(ch.current_rate(), 0);
+  double d = 0;
+  e.spawn(xfer(e, ch, static_cast<std::uint64_t>(kMB), &d));
+  // Spawn starts via the event queue; step once to let it begin.
+  while (ch.active() == 0 && e.step()) {
+  }
+  EXPECT_NEAR(ch.current_rate(), 100 * kMB, 1);
+  e.run();
+}
+
+}  // namespace
+}  // namespace tio::sim

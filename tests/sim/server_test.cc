@@ -1,0 +1,73 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tio::sim {
+namespace {
+
+Task<void> client(Engine& e, FcfsServer& s, Duration service, double* done_s) {
+  co_await s.serve(service);
+  *done_s = e.now().to_seconds();
+}
+
+TEST(FcfsServer, SerializesWithSingleSlot) {
+  Engine e;
+  FcfsServer s(e, 1, "mds");
+  std::vector<double> done(4, 0);
+  for (int i = 0; i < 4; ++i) e.spawn(client(e, s, Duration::ms(10), &done[i]));
+  e.run();
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(done[i], 0.010 * (i + 1), 1e-9);
+}
+
+TEST(FcfsServer, ParallelSlotsOverlapService) {
+  Engine e;
+  FcfsServer s(e, 2);
+  std::vector<double> done(4, 0);
+  for (int i = 0; i < 4; ++i) e.spawn(client(e, s, Duration::ms(10), &done[i]));
+  e.run();
+  EXPECT_NEAR(e.now().to_seconds(), 0.020, 1e-9);
+}
+
+TEST(FcfsServer, StatsAccumulate) {
+  Engine e;
+  FcfsServer s(e, 1);
+  std::vector<double> done(3, 0);
+  for (int i = 0; i < 3; ++i) e.spawn(client(e, s, Duration::ms(5), &done[i]));
+  e.run();
+  EXPECT_EQ(s.stats().ops, 3u);
+  EXPECT_EQ(s.stats().busy.to_ns(), Duration::ms(15).to_ns());
+  // Client 2 waits 5 ms, client 3 waits 10 ms.
+  EXPECT_EQ(s.stats().queue_wait.to_ns(), Duration::ms(15).to_ns());
+}
+
+TEST(FcfsServer, FifoOrderUnderContention) {
+  Engine e;
+  FcfsServer s(e, 1);
+  std::vector<int> order;
+  auto c = [](FcfsServer& srv, std::vector<int>& log, int id) -> Task<void> {
+    co_await srv.serve(Duration::ms(1));
+    log.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) e.spawn(c(s, order, i));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(FcfsServer, ZeroServiceTimeStillQueues) {
+  Engine e;
+  FcfsServer s(e, 1);
+  int served = 0;
+  auto c = [](FcfsServer& srv, int* n) -> Task<void> {
+    co_await srv.serve(Duration::zero());
+    ++*n;
+  };
+  for (int i = 0; i < 100; ++i) e.spawn(c(s, &served));
+  e.run();
+  EXPECT_EQ(served, 100);
+  EXPECT_EQ(e.now().to_ns(), 0);
+}
+
+}  // namespace
+}  // namespace tio::sim
