@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flatten_threshold.dir/ablation_flatten_threshold.cc.o"
+  "CMakeFiles/ablation_flatten_threshold.dir/ablation_flatten_threshold.cc.o.d"
+  "ablation_flatten_threshold"
+  "ablation_flatten_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flatten_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

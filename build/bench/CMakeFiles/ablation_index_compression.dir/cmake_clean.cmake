@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_compression.dir/ablation_index_compression.cc.o"
+  "CMakeFiles/ablation_index_compression.dir/ablation_index_compression.cc.o.d"
+  "ablation_index_compression"
+  "ablation_index_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

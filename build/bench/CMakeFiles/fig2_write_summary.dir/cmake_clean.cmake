@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_write_summary.dir/fig2_write_summary.cc.o"
+  "CMakeFiles/fig2_write_summary.dir/fig2_write_summary.cc.o.d"
+  "fig2_write_summary"
+  "fig2_write_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_write_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_read_scaling.dir/fig4_read_scaling.cc.o"
+  "CMakeFiles/fig4_read_scaling.dir/fig4_read_scaling.cc.o.d"
+  "fig4_read_scaling"
+  "fig4_read_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_read_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_kernels.dir/fig5_kernels.cc.o"
+  "CMakeFiles/fig5_kernels.dir/fig5_kernels.cc.o.d"
+  "fig5_kernels"
+  "fig5_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_metadata_nn.dir/fig7_metadata_nn.cc.o"
+  "CMakeFiles/fig7_metadata_nn.dir/fig7_metadata_nn.cc.o.d"
+  "fig7_metadata_nn"
+  "fig7_metadata_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_metadata_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_large_scale.dir/fig8_large_scale.cc.o"
+  "CMakeFiles/fig8_large_scale.dir/fig8_large_scale.cc.o.d"
+  "fig8_large_scale"
+  "fig8_large_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/checkpoint_restart.cpp" "examples/CMakeFiles/checkpoint_restart.dir/checkpoint_restart.cpp.o" "gcc" "examples/CMakeFiles/checkpoint_restart.dir/checkpoint_restart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolib/CMakeFiles/tio_iolib.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/tio_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/tio_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/localfs/CMakeFiles/tio_localfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

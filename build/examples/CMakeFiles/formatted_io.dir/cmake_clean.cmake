@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formatted_io.dir/formatted_io.cpp.o"
+  "CMakeFiles/formatted_io.dir/formatted_io.cpp.o.d"
+  "formatted_io"
+  "formatted_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formatted_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

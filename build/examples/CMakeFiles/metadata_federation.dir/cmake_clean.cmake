@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_federation.dir/metadata_federation.cpp.o"
+  "CMakeFiles/metadata_federation.dir/metadata_federation.cpp.o.d"
+  "metadata_federation"
+  "metadata_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_common.dir/dataview.cc.o"
+  "CMakeFiles/tio_common.dir/dataview.cc.o.d"
+  "CMakeFiles/tio_common.dir/flags.cc.o"
+  "CMakeFiles/tio_common.dir/flags.cc.o.d"
+  "CMakeFiles/tio_common.dir/log.cc.o"
+  "CMakeFiles/tio_common.dir/log.cc.o.d"
+  "CMakeFiles/tio_common.dir/stats.cc.o"
+  "CMakeFiles/tio_common.dir/stats.cc.o.d"
+  "CMakeFiles/tio_common.dir/status.cc.o"
+  "CMakeFiles/tio_common.dir/status.cc.o.d"
+  "CMakeFiles/tio_common.dir/strutil.cc.o"
+  "CMakeFiles/tio_common.dir/strutil.cc.o.d"
+  "CMakeFiles/tio_common.dir/table.cc.o"
+  "CMakeFiles/tio_common.dir/table.cc.o.d"
+  "libtio_common.a"
+  "libtio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

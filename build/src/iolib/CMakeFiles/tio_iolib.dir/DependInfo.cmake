@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iolib/collective_buffer.cc" "src/iolib/CMakeFiles/tio_iolib.dir/collective_buffer.cc.o" "gcc" "src/iolib/CMakeFiles/tio_iolib.dir/collective_buffer.cc.o.d"
+  "/root/repo/src/iolib/tinyhdf.cc" "src/iolib/CMakeFiles/tio_iolib.dir/tinyhdf.cc.o" "gcc" "src/iolib/CMakeFiles/tio_iolib.dir/tinyhdf.cc.o.d"
+  "/root/repo/src/iolib/tinync.cc" "src/iolib/CMakeFiles/tio_iolib.dir/tinync.cc.o" "gcc" "src/iolib/CMakeFiles/tio_iolib.dir/tinync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/tio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/tio_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_iolib.dir/collective_buffer.cc.o"
+  "CMakeFiles/tio_iolib.dir/collective_buffer.cc.o.d"
+  "CMakeFiles/tio_iolib.dir/tinyhdf.cc.o"
+  "CMakeFiles/tio_iolib.dir/tinyhdf.cc.o.d"
+  "CMakeFiles/tio_iolib.dir/tinync.cc.o"
+  "CMakeFiles/tio_iolib.dir/tinync.cc.o.d"
+  "libtio_iolib.a"
+  "libtio_iolib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_iolib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

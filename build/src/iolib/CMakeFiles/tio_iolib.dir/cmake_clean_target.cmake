@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtio_iolib.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_localfs.dir/local_fs.cc.o"
+  "CMakeFiles/tio_localfs.dir/local_fs.cc.o.d"
+  "CMakeFiles/tio_localfs.dir/mem_fs.cc.o"
+  "CMakeFiles/tio_localfs.dir/mem_fs.cc.o.d"
+  "libtio_localfs.a"
+  "libtio_localfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_localfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/comm.cc" "src/mpisim/CMakeFiles/tio_mpisim.dir/comm.cc.o" "gcc" "src/mpisim/CMakeFiles/tio_mpisim.dir/comm.cc.o.d"
+  "/root/repo/src/mpisim/runtime.cc" "src/mpisim/CMakeFiles/tio_mpisim.dir/runtime.cc.o" "gcc" "src/mpisim/CMakeFiles/tio_mpisim.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

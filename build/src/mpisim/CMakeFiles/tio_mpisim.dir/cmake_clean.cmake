@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_mpisim.dir/comm.cc.o"
+  "CMakeFiles/tio_mpisim.dir/comm.cc.o.d"
+  "CMakeFiles/tio_mpisim.dir/runtime.cc.o"
+  "CMakeFiles/tio_mpisim.dir/runtime.cc.o.d"
+  "libtio_mpisim.a"
+  "libtio_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_net.dir/cluster.cc.o"
+  "CMakeFiles/tio_net.dir/cluster.cc.o.d"
+  "CMakeFiles/tio_net.dir/page_cache.cc.o"
+  "CMakeFiles/tio_net.dir/page_cache.cc.o.d"
+  "libtio_net.a"
+  "libtio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/extent_map.cc" "src/pfs/CMakeFiles/tio_pfs.dir/extent_map.cc.o" "gcc" "src/pfs/CMakeFiles/tio_pfs.dir/extent_map.cc.o.d"
+  "/root/repo/src/pfs/namespace.cc" "src/pfs/CMakeFiles/tio_pfs.dir/namespace.cc.o" "gcc" "src/pfs/CMakeFiles/tio_pfs.dir/namespace.cc.o.d"
+  "/root/repo/src/pfs/ost.cc" "src/pfs/CMakeFiles/tio_pfs.dir/ost.cc.o" "gcc" "src/pfs/CMakeFiles/tio_pfs.dir/ost.cc.o.d"
+  "/root/repo/src/pfs/sim_pfs.cc" "src/pfs/CMakeFiles/tio_pfs.dir/sim_pfs.cc.o" "gcc" "src/pfs/CMakeFiles/tio_pfs.dir/sim_pfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

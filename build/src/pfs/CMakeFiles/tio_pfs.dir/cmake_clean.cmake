@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_pfs.dir/extent_map.cc.o"
+  "CMakeFiles/tio_pfs.dir/extent_map.cc.o.d"
+  "CMakeFiles/tio_pfs.dir/namespace.cc.o"
+  "CMakeFiles/tio_pfs.dir/namespace.cc.o.d"
+  "CMakeFiles/tio_pfs.dir/ost.cc.o"
+  "CMakeFiles/tio_pfs.dir/ost.cc.o.d"
+  "CMakeFiles/tio_pfs.dir/sim_pfs.cc.o"
+  "CMakeFiles/tio_pfs.dir/sim_pfs.cc.o.d"
+  "libtio_pfs.a"
+  "libtio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

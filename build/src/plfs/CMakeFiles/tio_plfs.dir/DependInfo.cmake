@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plfs/container.cc" "src/plfs/CMakeFiles/tio_plfs.dir/container.cc.o" "gcc" "src/plfs/CMakeFiles/tio_plfs.dir/container.cc.o.d"
+  "/root/repo/src/plfs/index.cc" "src/plfs/CMakeFiles/tio_plfs.dir/index.cc.o" "gcc" "src/plfs/CMakeFiles/tio_plfs.dir/index.cc.o.d"
+  "/root/repo/src/plfs/mpiio.cc" "src/plfs/CMakeFiles/tio_plfs.dir/mpiio.cc.o" "gcc" "src/plfs/CMakeFiles/tio_plfs.dir/mpiio.cc.o.d"
+  "/root/repo/src/plfs/plfs.cc" "src/plfs/CMakeFiles/tio_plfs.dir/plfs.cc.o" "gcc" "src/plfs/CMakeFiles/tio_plfs.dir/plfs.cc.o.d"
+  "/root/repo/src/plfs/vfs.cc" "src/plfs/CMakeFiles/tio_plfs.dir/vfs.cc.o" "gcc" "src/plfs/CMakeFiles/tio_plfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/tio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

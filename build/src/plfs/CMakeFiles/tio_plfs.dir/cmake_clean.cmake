@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_plfs.dir/container.cc.o"
+  "CMakeFiles/tio_plfs.dir/container.cc.o.d"
+  "CMakeFiles/tio_plfs.dir/index.cc.o"
+  "CMakeFiles/tio_plfs.dir/index.cc.o.d"
+  "CMakeFiles/tio_plfs.dir/mpiio.cc.o"
+  "CMakeFiles/tio_plfs.dir/mpiio.cc.o.d"
+  "CMakeFiles/tio_plfs.dir/plfs.cc.o"
+  "CMakeFiles/tio_plfs.dir/plfs.cc.o.d"
+  "CMakeFiles/tio_plfs.dir/vfs.cc.o"
+  "CMakeFiles/tio_plfs.dir/vfs.cc.o.d"
+  "libtio_plfs.a"
+  "libtio_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

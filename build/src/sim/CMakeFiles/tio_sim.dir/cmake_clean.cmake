@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_sim.dir/engine.cc.o"
+  "CMakeFiles/tio_sim.dir/engine.cc.o.d"
+  "CMakeFiles/tio_sim.dir/fairshare.cc.o"
+  "CMakeFiles/tio_sim.dir/fairshare.cc.o.d"
+  "libtio_sim.a"
+  "libtio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_testbed.dir/testbed.cc.o"
+  "CMakeFiles/tio_testbed.dir/testbed.cc.o.d"
+  "libtio_testbed.a"
+  "libtio_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

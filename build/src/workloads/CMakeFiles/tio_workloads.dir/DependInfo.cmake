@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/harness.cc" "src/workloads/CMakeFiles/tio_workloads.dir/harness.cc.o" "gcc" "src/workloads/CMakeFiles/tio_workloads.dir/harness.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/workloads/CMakeFiles/tio_workloads.dir/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/tio_workloads.dir/kernels.cc.o.d"
+  "/root/repo/src/workloads/metadata.cc" "src/workloads/CMakeFiles/tio_workloads.dir/metadata.cc.o" "gcc" "src/workloads/CMakeFiles/tio_workloads.dir/metadata.cc.o.d"
+  "/root/repo/src/workloads/target.cc" "src/workloads/CMakeFiles/tio_workloads.dir/target.cc.o" "gcc" "src/workloads/CMakeFiles/tio_workloads.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plfs/CMakeFiles/tio_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolib/CMakeFiles/tio_iolib.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/tio_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

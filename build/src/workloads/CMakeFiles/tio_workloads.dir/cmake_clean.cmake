@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tio_workloads.dir/harness.cc.o"
+  "CMakeFiles/tio_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/tio_workloads.dir/kernels.cc.o"
+  "CMakeFiles/tio_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/tio_workloads.dir/metadata.cc.o"
+  "CMakeFiles/tio_workloads.dir/metadata.cc.o.d"
+  "CMakeFiles/tio_workloads.dir/target.cc.o"
+  "CMakeFiles/tio_workloads.dir/target.cc.o.d"
+  "libtio_workloads.a"
+  "libtio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolib_test.dir/iolib/collective_buffer_test.cc.o"
+  "CMakeFiles/iolib_test.dir/iolib/collective_buffer_test.cc.o.d"
+  "CMakeFiles/iolib_test.dir/iolib/tinyhdf_test.cc.o"
+  "CMakeFiles/iolib_test.dir/iolib/tinyhdf_test.cc.o.d"
+  "CMakeFiles/iolib_test.dir/iolib/tinync_test.cc.o"
+  "CMakeFiles/iolib_test.dir/iolib/tinync_test.cc.o.d"
+  "iolib_test"
+  "iolib_test.pdb"
+  "iolib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localfs_test.dir/localfs/local_fs_test.cc.o"
+  "CMakeFiles/localfs_test.dir/localfs/local_fs_test.cc.o.d"
+  "CMakeFiles/localfs_test.dir/localfs/mem_fs_test.cc.o"
+  "CMakeFiles/localfs_test.dir/localfs/mem_fs_test.cc.o.d"
+  "localfs_test"
+  "localfs_test.pdb"
+  "localfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
