@@ -51,8 +51,8 @@ int main(int argc, char** argv) {
     auto entries = make_entries(static_cast<int>(*writers), static_cast<int>(*per_writer),
                                 64_KiB, segmented);
     const std::size_t raw = entries.size();
-    const Index uncompressed = Index::build(entries, /*compress=*/false);
-    const Index compressed = Index::build(std::move(entries), /*compress=*/true);
+    const BTreeIndex uncompressed = BTreeIndex::build(entries, /*compress=*/false);
+    const BTreeIndex compressed = BTreeIndex::build(std::move(entries), /*compress=*/true);
     t.add_row({segmented ? "segmented (per-rank sequential)" : "strided (interleaved)",
                std::to_string(raw), std::to_string(compressed.mapping_count()),
                format_bytes(uncompressed.serialized_bytes()),

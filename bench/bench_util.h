@@ -2,11 +2,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/stats.h"
 #include "common/strutil.h"
 #include "common/table.h"
 #include "testbed/testbed.h"
@@ -48,6 +50,31 @@ inline std::vector<int> sweep(int from, int max) {
   for (int v = from; v < max; v *= 2) out.push_back(v);
   if (out.empty() || out.back() != max) out.push_back(max);
   return out;
+}
+
+// Shared --index_backend flag (btree|flat) for the figure harnesses.
+inline std::string* add_index_backend_flag(FlagSet& flags) {
+  return flags.add_string("index_backend", "flat", "global index backend: btree|flat");
+}
+
+// Flag-value -> IndexBackend; exits with a usage message on bad input.
+inline plfs::IndexBackend index_backend_or_die(const std::string& name) {
+  plfs::IndexBackend backend = plfs::IndexBackend::flat;
+  if (!plfs::parse_index_backend(name, backend)) {
+    std::fprintf(stderr, "unknown --index_backend (want btree|flat): %s\n", name.c_str());
+    std::exit(1);
+  }
+  return backend;
+}
+
+// Host-side index/cache instrumentation accumulated during the run.
+inline void print_index_counters() {
+  const auto counters = counter_snapshot("plfs.index");
+  if (counters.empty()) return;
+  std::printf("\n-- index counters (host-side) --\n");
+  for (const auto& [name, value] : counters) {
+    std::printf("%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
 }
 
 }  // namespace tio::bench

@@ -24,10 +24,16 @@ struct Row {
   double wbw_noflat, wbw_flat;
 };
 
-Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record) {
+Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
+                plfs::IndexBackend backend) {
   Row row{};
   row.streams = streams;
   const OpGen ops = strided_ops(per_proc, record);
+  auto rig_opts = [backend] {
+    testbed::Rig::Options o = bench::lanl_rig();
+    o.index_backend = backend;
+    return o;
+  };
 
   auto read_with = [&](testbed::Rig& rig, const char* file, plfs::ReadStrategy strategy,
                        double* open_s, double* bw) {
@@ -45,7 +51,7 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record) {
   // One rig per written file so page-cache state is comparable across
   // strategies (each strategy rereads the same freshly written data).
   {
-    testbed::Rig rig(bench::lanl_rig());
+    testbed::Rig rig(rig_opts());
     JobSpec w;
     w.file = "noflat";
     w.ops = ops;
@@ -58,7 +64,7 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record) {
     read_with(rig, "noflat", plfs::ReadStrategy::parallel_read, &row.open_par, &row.bw_par);
   }
   {
-    testbed::Rig rig(bench::lanl_rig());
+    testbed::Rig rig(rig_opts());
     JobSpec w;
     w.file = "flat";
     w.ops = ops;
@@ -80,16 +86,18 @@ int main(int argc, char** argv) {
   auto* max_streams = flags.add_i64("max-streams", 1024, "largest concurrent stream count (paper: 2048)");
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 16, "MiB per stream (paper: 50 MB)");
   auto* record_kib = flags.add_i64("record-kib", 16, "record size KiB (paper: ~50 KB; 1024 records/stream)");
+  auto* backend_name = bench::add_index_backend_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = static_cast<std::uint64_t>(*record_kib) << 10;
+  const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
 
   std::vector<Row> rows;
   for (const int streams : bench::sweep(16, static_cast<int>(*max_streams))) {
-    rows.push_back(run_streams(streams, per_proc, record));
+    rows.push_back(run_streams(streams, per_proc, record, backend));
   }
 
   bench::print_header("Fig. 4a — Read Open Time (s)",
@@ -129,5 +137,6 @@ int main(int argc, char** argv) {
                Table::num(bench::mbps(r.wbw_flat))});
   }
   d.print(std::cout);
+  bench::print_index_counters();
   return 0;
 }

@@ -18,12 +18,14 @@ int main(int argc, char** argv) {
   auto* max_read_procs = flags.add_i64("max-read-procs", 65536, "largest read job (fig 8a)");
   auto* max_meta_procs = flags.add_i64("max-meta-procs", 32768, "largest storm (figs 8b-d)");
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 4, "MiB per process for fig 8a");
+  auto* backend_name = bench::add_index_backend_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = 256_KiB;
+  const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
 
   // --- 8a: read bandwidth ---
   bench::print_header("Fig. 8a — Large-Scale Read Bandwidth (MB/s)",
@@ -32,7 +34,9 @@ int main(int argc, char** argv) {
     Table t({"procs", "N-N w/o PLFS", "N-N PLFS", "N-1 PLFS"});
     for (const int n : bench::sweep(4096, static_cast<int>(*max_read_procs))) {
       auto bw = [&](Access access, const OpGen& ops) {
-        testbed::Rig rig(bench::cielo_rig(10));
+        testbed::Rig::Options opts = bench::cielo_rig(10);
+        opts.index_backend = backend;
+        testbed::Rig rig(std::move(opts));
         JobSpec spec;
         spec.file = "big";
         spec.ops = ops;
@@ -107,5 +111,6 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
   }
+  bench::print_index_counters();
   return 0;
 }

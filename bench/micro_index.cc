@@ -1,9 +1,24 @@
 // Microbenchmarks of the index hot paths (google-benchmark): build, lookup,
 // and (de)serialization — the CPU work each reader pays at open.
+//
+// The headline comparison is the global-index build: the map-based oracle
+// (BTreeIndex over a re-sorted concatenated pool, the original design)
+// versus the merge-based FlatIndex (k-way merge of per-writer sorted runs +
+// offset sweep) at 10k/100k/1M entries. `--index_backend=btree|flat`
+// restricts the comparison to one side; after the run the plfs.index.*
+// counters are printed.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stats.h"
 #include "plfs/index.h"
+#include "plfs/index_builder.h"
 
 namespace tio::plfs {
 namespace {
@@ -23,10 +38,68 @@ std::vector<IndexEntry> strided_entries(int writers, int per_writer) {
   return out;
 }
 
+// The same workload as per-writer timestamp-sorted runs — what the index
+// logs actually hold.
+std::vector<std::shared_ptr<const std::vector<IndexEntry>>> strided_runs(int writers,
+                                                                         int per_writer) {
+  std::vector<std::vector<IndexEntry>> runs(writers);
+  for (const auto& e : strided_entries(writers, per_writer)) runs[e.writer].push_back(e);
+  std::vector<std::shared_ptr<const std::vector<IndexEntry>>> out;
+  out.reserve(runs.size());
+  for (auto& r : runs) {
+    out.push_back(std::make_shared<const std::vector<IndexEntry>>(std::move(r)));
+  }
+  return out;
+}
+
+constexpr int kBuildWriters = 256;
+
+// The original design: concatenate every writer's log into one pool, then
+// sort the whole pool and feed a node-based map entry by entry.
+void BM_GlobalBuildOracleBTree(benchmark::State& state) {
+  const int per_writer = static_cast<int>(state.range(0)) / kBuildWriters;
+  const auto runs = strided_runs(kBuildWriters, per_writer);
+  std::vector<IndexEntry> pool;
+  for (const auto& r : runs) pool.insert(pool.end(), r->begin(), r->end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BTreeIndex::build(pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool.size()));
+}
+
+// The refactored path: k-way merge of the already-sorted runs, then the
+// FlatIndex offset sweep — no re-sort, no node allocations.
+void BM_GlobalBuildMergeFlat(benchmark::State& state) {
+  const int per_writer = static_cast<int>(state.range(0)) / kBuildWriters;
+  const auto runs = strided_runs(kBuildWriters, per_writer);
+  for (auto _ : state) {
+    IndexBuilder builder(IndexBackend::flat);
+    for (const auto& r : runs) builder.add_run(r);
+    benchmark::DoNotOptimize(builder.build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+
+// Merge into the map backend: isolates how much of the win is the merge
+// (vs the flat representation).
+void BM_GlobalBuildMergeBTree(benchmark::State& state) {
+  const int per_writer = static_cast<int>(state.range(0)) / kBuildWriters;
+  const auto runs = strided_runs(kBuildWriters, per_writer);
+  for (auto _ : state) {
+    IndexBuilder builder(IndexBackend::btree);
+    for (const auto& r : runs) builder.add_run(r);
+    benchmark::DoNotOptimize(builder.build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+
 void BM_IndexBuildStrided(benchmark::State& state) {
   const auto entries = strided_entries(static_cast<int>(state.range(0)), 64);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Index::build(entries));
+    benchmark::DoNotOptimize(BTreeIndex::build(entries));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(entries.size()));
@@ -41,15 +114,15 @@ void BM_IndexBuildSequentialCompresses(benchmark::State& state) {
                                  static_cast<std::uint64_t>(i) * 4096, i + 1, 0});
   }
   for (auto _ : state) {
-    const Index idx = Index::build(entries);
+    const BTreeIndex idx = BTreeIndex::build(entries);
     benchmark::DoNotOptimize(idx.mapping_count());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_IndexBuildSequentialCompresses)->Arg(1024)->Arg(16384);
 
-void BM_IndexLookup(benchmark::State& state) {
-  const Index idx = Index::build(strided_entries(static_cast<int>(state.range(0)), 64));
+void BM_IndexLookupBTree(benchmark::State& state) {
+  const BTreeIndex idx = BTreeIndex::build(strided_entries(static_cast<int>(state.range(0)), 64));
   Rng rng(42);
   const std::uint64_t size = idx.logical_size();
   for (auto _ : state) {
@@ -57,7 +130,18 @@ void BM_IndexLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(idx.lookup(off, std::min<std::uint64_t>(1 << 20, size - off)));
   }
 }
-BENCHMARK(BM_IndexLookup)->Arg(64)->Arg(1024);
+BENCHMARK(BM_IndexLookupBTree)->Arg(64)->Arg(1024);
+
+void BM_IndexLookupFlat(benchmark::State& state) {
+  const FlatIndex idx = FlatIndex::build(strided_entries(static_cast<int>(state.range(0)), 64));
+  Rng rng(42);
+  const std::uint64_t size = idx.logical_size();
+  for (auto _ : state) {
+    const std::uint64_t off = rng.below(size - 1);
+    benchmark::DoNotOptimize(idx.lookup(off, std::min<std::uint64_t>(1 << 20, size - off)));
+  }
+}
+BENCHMARK(BM_IndexLookupFlat)->Arg(64)->Arg(1024);
 
 void BM_EntrySerialization(benchmark::State& state) {
   const auto entries = strided_entries(256, 64);
@@ -81,5 +165,52 @@ void BM_EntryDeserialization(benchmark::State& state) {
 }
 BENCHMARK(BM_EntryDeserialization);
 
+void register_build_benchmarks(bool want_btree, bool want_flat) {
+  auto args = [](benchmark::internal::Benchmark* b) {
+    b->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+  };
+  if (want_btree) {
+    args(benchmark::RegisterBenchmark("BM_GlobalBuildOracleBTree", BM_GlobalBuildOracleBTree));
+    args(benchmark::RegisterBenchmark("BM_GlobalBuildMergeBTree", BM_GlobalBuildMergeBTree));
+  }
+  if (want_flat) {
+    args(benchmark::RegisterBenchmark("BM_GlobalBuildMergeFlat", BM_GlobalBuildMergeFlat));
+  }
+}
+
 }  // namespace
 }  // namespace tio::plfs
+
+int main(int argc, char** argv) {
+  bool want_btree = true;
+  bool want_flat = true;
+  // Strip our flag before google-benchmark sees the command line.
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--index_backend=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      tio::plfs::IndexBackend backend;
+      if (!tio::plfs::parse_index_backend(argv[i] + std::strlen(kFlag), backend)) {
+        std::fprintf(stderr, "unknown --index_backend (want btree|flat): %s\n", argv[i]);
+        return 1;
+      }
+      want_btree = backend == tio::plfs::IndexBackend::btree;
+      want_flat = backend == tio::plfs::IndexBackend::flat;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  tio::plfs::register_build_benchmarks(want_btree, want_flat);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const auto counters = tio::counter_snapshot("plfs.index");
+  if (!counters.empty()) {
+    std::printf("\n-- plfs.index counters --\n");
+    for (const auto& [name, value] : counters) {
+      std::printf("%-32s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+  }
+  return 0;
+}

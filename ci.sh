@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: build both presets, run the full suite on the optimized
+# build, and run the index differential/cache suites under ASan+UBSan.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "==> configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+
+echo "==> full test suite (default preset)"
+ctest --preset default -j "$jobs"
+
+echo "==> configure + build (asan preset)"
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+
+echo "==> index differential + cache tests under ASan/UBSan"
+ctest --preset asan -j "$jobs" -R 'IndexDiff|IndexCache|BTreeIndex|IndexProperty'
+
+echo "==> ci.sh: all green"

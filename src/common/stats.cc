@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace tio {
@@ -43,6 +46,49 @@ double Series::percentile(double p) const {
   const auto rank = static_cast<std::size_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(s.size())));
   return s[rank == 0 ? 0 : rank - 1];
+}
+
+namespace {
+
+struct CounterRegistry {
+  std::mutex mu;
+  // std::map: stable addresses for the Counter objects and sorted snapshots.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+};
+
+CounterRegistry& registry() {
+  static auto* r = new CounterRegistry();  // leaked: counters outlive everything
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  CounterRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot(std::string_view prefix) {
+  CounterRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, c] : r.counters) {
+    if (name.size() >= prefix.size() && std::string_view(name).substr(0, prefix.size()) == prefix) {
+      out.emplace_back(name, c->value());
+    }
+  }
+  return out;
+}
+
+void reset_counters() {
+  CounterRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
 }
 
 }  // namespace tio

@@ -1,7 +1,14 @@
-// Sample statistics for benchmark reporting (mean, stddev, percentiles).
+// Sample statistics for benchmark reporting (mean, stddev, percentiles),
+// plus a process-global named-counter registry for lightweight subsystem
+// instrumentation (index builds, cache hits, ...).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tio {
@@ -23,5 +30,30 @@ class Series {
  private:
   std::vector<double> xs_;
 };
+
+// A monotonically increasing event/byte counter. Counters are registered by
+// name the first time they are requested and live for the process lifetime,
+// so holding a `Counter&` across calls is always safe.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Returns the process-global counter with this name, creating it on first
+// use. Dotted names ("plfs.index.entries_merged") group related counters.
+Counter& counter(std::string_view name);
+
+// All registered counters as (name, value), sorted by name. Counters whose
+// value is zero are included; `prefix` filters to names starting with it.
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot(
+    std::string_view prefix = "");
+
+// Zeroes every registered counter (the registry itself is never shrunk).
+void reset_counters();
 
 }  // namespace tio

@@ -4,12 +4,26 @@
 // log and records, per write, an IndexEntry mapping the logical extent to
 // (writer, physical offset in that writer's data log, timestamp). Reading
 // the logical file requires the union of all writers' entries — the global
-// Index — with overlaps resolved by timestamp (PLFS defers write resolution
+// index — with overlaps resolved by timestamp (PLFS defers write resolution
 // from write time to read time; the paper's note 1).
 //
-// The Index also performs entry compression: adjacent entries from the same
-// writer that are contiguous both logically and physically collapse into
-// one, so well-behaved sequential/strided patterns have tiny indices.
+// The queryable global index is split into an abstract read-side interface
+// (IndexView) and two implementations:
+//
+//   * BTreeIndex — the original eager interval map (std::map keyed by
+//     logical offset). Entries are inserted in timestamp order with
+//     splitting and compression. Kept as the correctness oracle and as the
+//     faithful "Original PLFS Design" cost model.
+//   * FlatIndex  — a sorted flat vector of non-overlapping mappings with
+//     binary-search lookup. Built by an offset-domain sweep over a
+//     timestamp-ordered entry run (see index_builder.h for the streaming
+//     k-way merge that produces such runs), which avoids per-entry
+//     node-based map mutations entirely.
+//
+// Both implementations perform entry compression: adjacent mappings from
+// the same writer that are contiguous both logically and physically
+// collapse into one, so well-behaved sequential/strided patterns have tiny
+// indices.
 #pragma once
 
 #include <cstdint>
@@ -32,21 +46,25 @@ struct IndexEntry {
   friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
 };
 
+// The timestamp order in which overlapping writes are resolved: later
+// entries win; ties break by writer, then physical offset, so resolution is
+// deterministic for simultaneous writers.
+bool entry_timestamp_less(const IndexEntry& a, const IndexEntry& b);
+
 // Fixed-record serialization of entry batches (the on-"disk" format of
 // index.<writer> logs and of the flattened global index file).
 std::vector<std::byte> serialize_entries(const std::vector<IndexEntry>& entries);
 void append_serialized(std::vector<std::byte>& out, const IndexEntry& entry);
-// Parses a whole buffer of records; a trailing partial record is an error.
+// Parses a whole buffer of records. A trailing partial record, a
+// zero-length record, or an extent whose offset+length overflows is an
+// error: index logs are the source of truth for the read path, so corrupt
+// or truncated logs must be rejected, not silently absorbed.
 Result<std::vector<IndexEntry>> deserialize_entries(const FragmentList& data);
 
-// The queryable global index.
-class Index {
+// Read-side interface of the aggregated global index. Implementations are
+// immutable once built; readers share them via shared_ptr.
+class IndexView {
  public:
-  // Builds from an unordered entry pool: sorts by timestamp (ties by writer)
-  // so that later writes win, then inserts with splitting + compression.
-  // `compress` exists for the ablation bench; production callers leave it on.
-  static Index build(std::vector<IndexEntry> entries, bool compress = true);
-
   struct Mapping {
     std::uint64_t logical_offset;
     std::uint64_t length;
@@ -55,22 +73,72 @@ class Index {
     friend bool operator==(const Mapping&, const Mapping&) = default;
   };
 
+  virtual ~IndexView() = default;
+
   // Mappings covering [offset, offset+len), clipped, in logical order.
   // Unwritten gaps are simply absent from the result (they read as zeros).
-  std::vector<Mapping> lookup(std::uint64_t offset, std::uint64_t len) const;
+  virtual std::vector<Mapping> lookup(std::uint64_t offset, std::uint64_t len) const = 0;
 
   // One past the highest written logical byte.
-  std::uint64_t logical_size() const;
-  std::size_t mapping_count() const { return map_.size(); }
+  virtual std::uint64_t logical_size() const = 0;
+  virtual std::size_t mapping_count() const = 0;
 
   // Re-serializes the (compressed) index for broadcast/flatten costing.
-  std::vector<IndexEntry> to_entries() const;
-  std::uint64_t serialized_bytes() const { return map_.size() * IndexEntry::kSerializedSize; }
+  virtual std::vector<IndexEntry> to_entries() const = 0;
+  std::uint64_t serialized_bytes() const { return mapping_count() * IndexEntry::kSerializedSize; }
+
+  // Approximate host-memory footprint, used by the IndexCache byte budget.
+  virtual std::uint64_t memory_bytes() const = 0;
+};
+
+// The original map-based index: O(E log E) re-sort of the entry pool plus a
+// node-based map insert per entry. The correctness oracle.
+class BTreeIndex final : public IndexView {
+ public:
+  // Builds from an unordered entry pool: sorts by timestamp (ties by writer)
+  // so that later writes win, then inserts with splitting + compression.
+  // `compress` exists for the ablation bench; production callers leave it on.
+  static BTreeIndex build(std::vector<IndexEntry> entries, bool compress = true);
+  // Same insertion pipeline minus the sort, for entries already in
+  // timestamp order (e.g. the output of IndexBuilder::merged_run).
+  static BTreeIndex from_sorted(const std::vector<IndexEntry>& sorted, bool compress = true);
+
+  std::vector<Mapping> lookup(std::uint64_t offset, std::uint64_t len) const override;
+  std::uint64_t logical_size() const override;
+  std::size_t mapping_count() const override { return map_.size(); }
+  std::vector<IndexEntry> to_entries() const override;
+  std::uint64_t memory_bytes() const override {
+    // Mapping payload plus typical red-black node overhead.
+    return map_.size() * (sizeof(std::pair<std::uint64_t, Mapping>) + 48);
+  }
 
  private:
   void insert(const IndexEntry& e, bool compress);
   // key = logical offset; entries non-overlapping.
   std::map<std::uint64_t, Mapping> map_;
+};
+
+// Flat-vector index: non-overlapping mappings sorted by logical offset,
+// looked up by binary search. Building is a sweep over offset-domain
+// boundaries with a lazy-deletion max-heap of live entries — everything is
+// contiguous vectors, no node allocations, which is where the build speedup
+// over BTreeIndex comes from.
+class FlatIndex final : public IndexView {
+ public:
+  // `sorted` must be in entry_timestamp_less order (later-wins last); use
+  // IndexBuilder to merge per-writer runs into that order cheaply.
+  static FlatIndex from_sorted(const std::vector<IndexEntry>& sorted, bool compress = true);
+  // Convenience for unordered pools: sorts, then delegates to from_sorted.
+  static FlatIndex build(std::vector<IndexEntry> entries, bool compress = true);
+
+  std::vector<Mapping> lookup(std::uint64_t offset, std::uint64_t len) const override;
+  std::uint64_t logical_size() const override;
+  std::size_t mapping_count() const override { return mappings_.size(); }
+  std::vector<IndexEntry> to_entries() const override;
+  std::uint64_t memory_bytes() const override { return mappings_.capacity() * sizeof(Mapping); }
+
+ private:
+  std::vector<Mapping> mappings_;  // sorted by logical_offset, non-overlapping
 };
 
 }  // namespace tio::plfs

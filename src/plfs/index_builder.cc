@@ -1,0 +1,122 @@
+#include "plfs/index_builder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace tio::plfs {
+
+namespace {
+
+std::int64_t host_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void IndexBuilder::add_run(std::shared_ptr<const std::vector<IndexEntry>> run) {
+  if (!run || run->empty()) return;
+  total_entries_ += run->size();
+  runs_.push_back(std::move(run));
+}
+
+void IndexBuilder::add_entries(std::vector<IndexEntry> entries) {
+  if (entries.empty()) return;
+  add_run(std::make_shared<const std::vector<IndexEntry>>(std::move(entries)));
+}
+
+std::vector<IndexEntry> IndexBuilder::merged_run() const {
+  const std::int64_t t0 = host_now_ns();
+
+  // Materialize sorted views of each run; unsorted inputs get a sorted copy.
+  std::vector<const std::vector<IndexEntry>*> sorted_runs;
+  sorted_runs.reserve(runs_.size());
+  std::vector<std::vector<IndexEntry>> fixups;
+  for (const auto& run : runs_) {
+    if (std::is_sorted(run->begin(), run->end(), entry_timestamp_less)) {
+      sorted_runs.push_back(run.get());
+    } else {
+      fixups.push_back(*run);
+      std::sort(fixups.back().begin(), fixups.back().end(), entry_timestamp_less);
+      sorted_runs.push_back(&fixups.back());
+    }
+  }
+
+  std::vector<IndexEntry> out;
+  out.reserve(total_entries_);
+  if (sorted_runs.size() == 1) {
+    out = *sorted_runs[0];
+  } else if (!sorted_runs.empty()) {
+    // Binary min-heap of cursors, keyed by each cursor's current entry.
+    struct Cursor {
+      const std::vector<IndexEntry>* run;
+      std::size_t pos;
+    };
+    std::vector<Cursor> heap;
+    heap.reserve(sorted_runs.size());
+    for (const auto* run : sorted_runs) heap.push_back(Cursor{run, 0});
+    auto cursor_after = [](const Cursor& a, const Cursor& b) {
+      // std::push_heap builds a max-heap; invert for min-first.
+      return entry_timestamp_less((*b.run)[b.pos], (*a.run)[a.pos]);
+    };
+    std::make_heap(heap.begin(), heap.end(), cursor_after);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), cursor_after);
+      Cursor& c = heap.back();
+      out.push_back((*c.run)[c.pos]);
+      if (++c.pos < c.run->size()) {
+        std::push_heap(heap.begin(), heap.end(), cursor_after);
+      } else {
+        heap.pop_back();
+      }
+    }
+  }
+
+  counter("plfs.index.runs_merged").add(runs_.size());
+  counter("plfs.index.entries_merged").add(out.size());
+  counter("plfs.index.build_ns").add(static_cast<std::uint64_t>(host_now_ns() - t0));
+  return out;
+}
+
+IndexPtr IndexBuilder::build() const {
+  const std::vector<IndexEntry> run = merged_run();
+  const std::int64_t t0 = host_now_ns();
+  IndexPtr built;
+  switch (backend_) {
+    case IndexBackend::btree:
+      built = std::make_shared<const BTreeIndex>(BTreeIndex::from_sorted(run, compress_));
+      break;
+    case IndexBackend::flat:
+      built = std::make_shared<const FlatIndex>(FlatIndex::from_sorted(run, compress_));
+      break;
+  }
+  counter("plfs.index.builds").add(1);
+  counter("plfs.index.build_ns").add(static_cast<std::uint64_t>(host_now_ns() - t0));
+  return built;
+}
+
+bool parse_index_backend(std::string_view name, IndexBackend& out) {
+  if (name == "btree") {
+    out = IndexBackend::btree;
+    return true;
+  }
+  if (name == "flat") {
+    out = IndexBackend::flat;
+    return true;
+  }
+  return false;
+}
+
+std::string index_backend_name(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::btree: return "btree";
+    case IndexBackend::flat: return "flat";
+  }
+  return "unknown";
+}
+
+}  // namespace tio::plfs

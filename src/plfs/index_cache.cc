@@ -1,0 +1,121 @@
+#include "plfs/index_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace tio::plfs {
+
+namespace {
+
+std::string index_key(const std::string& container) { return "idx:" + container; }
+std::string log_key(const std::string& path) { return "log:" + path; }
+
+}  // namespace
+
+IndexCache::Entry* IndexCache::find(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    counter("plfs.index_cache.misses").add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  counter("plfs.index_cache.hits").add(1);
+  return &it->second;
+}
+
+IndexPtr IndexCache::get_index(const std::string& container) {
+  Entry* e = find(index_key(container));
+  return e ? e->index : nullptr;
+}
+
+void IndexCache::put_index(const std::string& container, IndexPtr index) {
+  if (!index) return;
+  Entry e;
+  e.bytes = index->memory_bytes();
+  e.index = std::move(index);
+  insert(index_key(container), container, std::move(e));
+}
+
+IndexCache::LogEntries IndexCache::get_log(const std::string& container,
+                                           const std::string& path) {
+  (void)container;
+  Entry* e = find(log_key(path));
+  return e ? e->log : nullptr;
+}
+
+void IndexCache::put_log(const std::string& container, const std::string& path,
+                         LogEntries entries) {
+  if (!entries) return;
+  Entry e;
+  e.bytes = entries->size() * sizeof(IndexEntry);
+  e.log = std::move(entries);
+  insert(log_key(path), container, std::move(e));
+}
+
+void IndexCache::insert(const std::string& key, const std::string& container, Entry entry) {
+  if (entry.bytes > budget_bytes_) return;  // would evict everything else for nothing
+  erase_key(key);                           // replace any stale value
+  entry.container = container;
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  stats_.bytes += entry.bytes;
+  ++stats_.entries;
+  ++stats_.insertions;
+  counter("plfs.index_cache.insertions").add(1);
+  by_container_[container].push_back(key);
+  entries_.emplace(key, std::move(entry));
+  evict_to_budget();
+}
+
+void IndexCache::erase_key(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  stats_.bytes -= it->second.bytes;
+  --stats_.entries;
+  auto bc = by_container_.find(it->second.container);
+  if (bc != by_container_.end()) {
+    auto& keys = bc->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+    if (keys.empty()) by_container_.erase(bc);
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void IndexCache::evict_to_budget() {
+  while (stats_.bytes > budget_bytes_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    erase_key(victim);
+    ++stats_.evictions;
+    counter("plfs.index_cache.evictions").add(1);
+  }
+}
+
+void IndexCache::invalidate(const std::string& container) {
+  ++generations_[container];
+  ++stats_.invalidations;
+  counter("plfs.index_cache.invalidations").add(1);
+  auto it = by_container_.find(container);
+  if (it == by_container_.end()) return;
+  const std::vector<std::string> keys = it->second;  // erase_key edits the list
+  for (const auto& key : keys) erase_key(key);
+}
+
+std::uint64_t IndexCache::generation(const std::string& container) const {
+  auto it = generations_.find(container);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+void IndexCache::clear() {
+  lru_.clear();
+  entries_.clear();
+  by_container_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace tio::plfs

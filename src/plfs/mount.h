@@ -15,6 +15,12 @@ enum class ReadStrategy {
   parallel_read,  // group-leader aggregation at open (the default)
 };
 
+// In-memory representation of the aggregated global index (see index.h).
+enum class IndexBackend {
+  btree,  // original eager std::map interval index (correctness oracle)
+  flat,   // sorted flat vector built by run merge + offset sweep
+};
+
 struct PlfsMount {
   // Physical roots the containers are spread over, e.g. {"/vol0/plfs",
   // "/vol1/plfs", ...}. Each root typically lives in a different metadata
@@ -45,6 +51,15 @@ struct PlfsMount {
   Duration index_cpu_per_entry = Duration::ns(1000);
 
   ReadStrategy default_strategy = ReadStrategy::parallel_read;
+
+  // Which IndexView implementation aggregation builds. Simulated costs are
+  // identical across backends (same entries processed); the backend changes
+  // host-side build/lookup complexity and memory only.
+  IndexBackend index_backend = IndexBackend::flat;
+
+  // Byte budget for the per-Plfs shared index cache (parsed index logs and
+  // built serial indices). 0 disables caching entirely.
+  std::uint64_t index_cache_bytes = 256_MiB;
 };
 
 }  // namespace tio::plfs

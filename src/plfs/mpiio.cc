@@ -14,11 +14,11 @@ std::size_t group_size_for(const PlfsMount& mount, int nprocs) {
   return std::max<std::size_t>(1, g);
 }
 
-sim::Task<Result<std::shared_ptr<const Index>>> aggregate_flatten(Plfs& plfs, mpi::Comm& comm,
-                                                                  const std::string& logical) {
+sim::Task<Result<IndexPtr>> aggregate_flatten(Plfs& plfs, mpi::Comm& comm,
+                                              const std::string& logical) {
   const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
   // Root reads the flattened index; everyone receives it by broadcast.
-  std::shared_ptr<const Index> index;
+  IndexPtr index;
   std::uint64_t bytes = 0;
   if (comm.rank() == 0) {
     auto read = co_await plfs.read_global_index(ctx, logical);
@@ -31,8 +31,8 @@ sim::Task<Result<std::shared_ptr<const Index>>> aggregate_flatten(Plfs& plfs, mp
   co_return index;
 }
 
-sim::Task<Result<std::shared_ptr<const Index>>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
-                                                                   const std::string& logical) {
+sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
+                                               const std::string& logical) {
   const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
   const int n = comm.size();
 
@@ -50,13 +50,15 @@ sim::Task<Result<std::shared_ptr<const Index>>> aggregate_parallel(Plfs& plfs, m
   auto shared_logs = co_await comm.bcast(
       0, std::make_shared<const std::vector<Plfs::IndexLogRef>>(std::move(logs)), list_bytes);
 
-  // 2. Each rank reads its disjoint share of the index logs.
-  std::vector<IndexEntry> mine;
+  // 2. Each rank reads its disjoint share of the index logs and k-way
+  // merges them (each log is a timestamp-sorted run) into one sorted run.
+  IndexBuilder my_runs(plfs.mount().index_backend);
   for (std::size_t i = comm.rank(); i < shared_logs->size(); i += n) {
-    auto entries = co_await plfs.read_index_log(ctx, (*shared_logs)[i].path);
+    auto entries = co_await plfs.read_index_log(ctx, logical, (*shared_logs)[i].path);
     if (!entries.ok()) co_return entries.status();
-    mine.insert(mine.end(), (*entries)->begin(), (*entries)->end());
+    my_runs.add_run(std::move(entries.value()));
   }
+  std::vector<IndexEntry> mine = my_runs.merged_run();
 
   // 3. Two-level aggregation: members -> group leader, leaders <-> leaders.
   const auto gsize = static_cast<int>(group_size_for(plfs.mount(), n));
@@ -65,28 +67,30 @@ sim::Task<Result<std::shared_ptr<const Index>>> aggregate_parallel(Plfs& plfs, m
   mpi::Comm leaders = co_await comm.split(leader ? 0 : 1, comm.rank());
 
   const std::uint64_t my_bytes = mine.size() * IndexEntry::kSerializedSize;
-  auto pools = co_await group.gather(0, std::move(mine), my_bytes);
+  auto member_runs = co_await group.gather(0, std::move(mine), my_bytes);
 
-  std::shared_ptr<const Index> index;
+  IndexPtr index;
   if (leader) {
-    auto group_pool = std::make_shared<std::vector<IndexEntry>>();
-    for (auto& p : pools) group_pool->insert(group_pool->end(), p.begin(), p.end());
-    const std::uint64_t pool_bytes = group_pool->size() * IndexEntry::kSerializedSize;
-    // Pools travel as shared structure: every leader logically holds the
+    // Merge the group's member runs into one sorted run; sorted runs (not
+    // raw pools) are what leaders exchange.
+    IndexBuilder group_builder(plfs.mount().index_backend);
+    for (auto& run : member_runs) group_builder.add_entries(std::move(run));
+    auto group_run =
+        std::make_shared<const std::vector<IndexEntry>>(group_builder.merged_run());
+    const std::uint64_t run_bytes = group_run->size() * IndexEntry::kSerializedSize;
+    // Runs travel as shared structure: every leader logically holds the
     // full entry set (and is charged transfer + merge CPU for it), but the
     // simulator keeps one copy — 65,536-rank runs would otherwise
-    // materialize hundreds of copies of a million-entry pool.
-    auto all_pools = co_await leaders.allgather(
-        std::shared_ptr<const std::vector<IndexEntry>>(std::move(group_pool)), pool_bytes);
+    // materialize hundreds of copies of a million-entry run.
+    auto all_runs = co_await leaders.allgather(std::move(group_run), run_bytes);
     std::size_t total = 0;
-    for (const auto& p : all_pools) total += p->size();
+    for (const auto& r : all_runs) total += r->size();
     co_await comm.engine().sleep(plfs.mount().index_cpu_per_entry *
                                  static_cast<std::int64_t>(total));
     if (leaders.rank() == 0) {
-      std::vector<IndexEntry> everything;
-      everything.reserve(total);
-      for (const auto& p : all_pools) everything.insert(everything.end(), p->begin(), p->end());
-      index = std::make_shared<const Index>(Index::build(std::move(everything)));
+      IndexBuilder global_builder(plfs.mount().index_backend);
+      for (const auto& r : all_runs) global_builder.add_run(r);
+      index = global_builder.build();
     }
     // Zero-byte structure share among leaders (each already paid the merge).
     index = co_await leaders.bcast(0, std::move(index), 0);
@@ -110,9 +114,8 @@ sim::Task<Result<std::shared_ptr<const Index>>> aggregate_parallel(Plfs& plfs, m
 
 }  // namespace
 
-sim::Task<Result<std::shared_ptr<const Index>>> aggregate_index(Plfs& plfs, mpi::Comm& comm,
-                                                                const std::string& logical,
-                                                                ReadStrategy strategy) {
+sim::Task<Result<IndexPtr>> aggregate_index(Plfs& plfs, mpi::Comm& comm,
+                                            const std::string& logical, ReadStrategy strategy) {
   const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
   switch (strategy) {
     case ReadStrategy::original: {
@@ -156,12 +159,13 @@ sim::Task<Status> MpiFile::close_write(bool flatten) {
       const std::uint64_t bytes = my_entries * IndexEntry::kSerializedSize;
       auto pools = co_await comm_->gather(0, write_->entries(), bytes);
       if (comm_->rank() == 0) {
-        std::vector<IndexEntry> everything;
-        for (auto& p : pools) everything.insert(everything.end(), p.begin(), p.end());
+        // Each writer's entry pool is already a timestamp-sorted run.
+        IndexBuilder builder(plfs_->mount().index_backend);
+        for (auto& p : pools) builder.add_entries(std::move(p));
         co_await comm_->engine().sleep(plfs_->mount().index_cpu_per_entry *
-                                       static_cast<std::int64_t>(everything.size()));
-        const Index global = Index::build(std::move(everything));
-        TIO_CO_RETURN_IF_ERROR(co_await plfs_->write_global_index(ctx(), logical_, global));
+                                       static_cast<std::int64_t>(builder.total_entries()));
+        const IndexPtr global = builder.build();
+        TIO_CO_RETURN_IF_ERROR(co_await plfs_->write_global_index(ctx(), logical_, *global));
       }
     }
   }

@@ -25,9 +25,8 @@ namespace tio::plfs {
 
 // Collective index aggregation; every rank of `comm` must call. Returns the
 // same global index on every rank.
-sim::Task<Result<std::shared_ptr<const Index>>> aggregate_index(Plfs& plfs, mpi::Comm& comm,
-                                                                const std::string& logical,
-                                                                ReadStrategy strategy);
+sim::Task<Result<IndexPtr>> aggregate_index(Plfs& plfs, mpi::Comm& comm,
+                                            const std::string& logical, ReadStrategy strategy);
 
 // A rank's slice of a collectively opened PLFS file.
 class MpiFile {
@@ -49,7 +48,7 @@ class MpiFile {
   sim::Task<Status> close_read();
 
   std::uint64_t logical_size() const { return read_ ? read_->logical_size() : 0; }
-  const Index* index() const { return read_ ? &read_->index() : nullptr; }
+  const IndexView* index() const { return read_ ? &read_->index() : nullptr; }
   WriteHandle* write_handle() { return write_.get(); }
 
  private:

@@ -9,7 +9,8 @@ namespace tio::plfs {
 
 using pfs::OpenFlags;
 
-Plfs::Plfs(pfs::FsClient& fs, PlfsMount mount) : fs_(fs), mount_(std::move(mount)) {
+Plfs::Plfs(pfs::FsClient& fs, PlfsMount mount)
+    : fs_(fs), mount_(std::move(mount)), cache_(mount_.index_cache_bytes) {
   if (mount_.backends.empty()) {
     throw std::invalid_argument("PlfsMount must have at least one backend");
   }
@@ -54,7 +55,7 @@ sim::Task<Status> Plfs::ensure_container_skeleton(pfs::IoCtx ctx, const Containe
 sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
                                                                  std::string logical, int rank) {
   ContainerLayout lay = layout(logical);
-  invalidate_memos();  // the container is about to change
+  cache_.invalidate(path_normalize(logical));  // this container is about to change
   TIO_CO_RETURN_IF_ERROR(co_await ensure_container_skeleton(ctx, lay));
 
   // My subdir lives on its hashed backend; ensure the shadow chain there.
@@ -170,59 +171,65 @@ sim::Task<Result<std::vector<Plfs::IndexLogRef>>> Plfs::list_index_logs(
 }
 
 sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> Plfs::read_index_log(
-    pfs::IoCtx ctx, std::string path) {
+    pfs::IoCtx ctx, std::string logical, std::string path) {
   // Simulated costs are always paid in full; only the parsed host structure
-  // is shared across readers.
+  // is shared across readers, through the container-scoped cache.
   TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await fs_.open(ctx, path, OpenFlags::ro()));
   auto data = co_await fs_.read(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
   TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, fd));
   if (!data.ok()) co_return data.status();
+  const std::string container = path_normalize(logical);
+  const std::uint64_t gen = cache_.generation(container);
   co_await engine().sleep(mount_.index_cpu_per_entry *
                           static_cast<std::int64_t>(data->size() / IndexEntry::kSerializedSize));
-  auto& memo = log_memo_[path];
-  if (memo == nullptr) {
+  auto cached = cache_.get_log(container, path);
+  if (cached == nullptr) {
     auto entries = deserialize_entries(*data);
     if (!entries.ok()) co_return entries.status();
-    memo = std::make_shared<const std::vector<IndexEntry>>(std::move(entries.value()));
+    cached = std::make_shared<const std::vector<IndexEntry>>(std::move(entries.value()));
+    // Don't install if a writer invalidated the container mid-parse: this
+    // copy reflects pre-invalidation bytes.
+    if (cache_.generation(container) == gen) cache_.put_log(container, path, cached);
   }
-  co_return memo;
+  co_return cached;
 }
 
-sim::Task<Result<std::shared_ptr<const Index>>> Plfs::build_index_serial(pfs::IoCtx ctx,
-                                                                         std::string logical) {
+sim::Task<Result<IndexPtr>> Plfs::build_index_serial(pfs::IoCtx ctx, std::string logical) {
+  const std::string container = path_normalize(logical);
+  const std::uint64_t gen = cache_.generation(container);
   TIO_CO_ASSIGN_OR_RETURN(std::vector<IndexLogRef> logs, co_await list_index_logs(ctx, logical));
-  std::vector<std::shared_ptr<const std::vector<IndexEntry>>> pools;
-  std::size_t total = 0;
-  pools.reserve(logs.size());
+  IndexBuilder builder(mount_.index_backend);
   for (const auto& log : logs) {
     TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<IndexEntry>> entries,
-                            co_await read_index_log(ctx, log.path));
-    total += entries->size();
-    pools.push_back(std::move(entries));
+                            co_await read_index_log(ctx, logical, log.path));
+    builder.add_run(std::move(entries));
   }
-  co_await engine().sleep(mount_.index_cpu_per_entry * static_cast<std::int64_t>(total));
-  auto& memo = serial_index_memo_[path_normalize(logical)];
-  if (memo == nullptr) {
-    std::vector<IndexEntry> pool;
-    pool.reserve(total);
-    for (const auto& p : pools) pool.insert(pool.end(), p->begin(), p->end());
-    memo = std::make_shared<const Index>(Index::build(std::move(pool)));
+  co_await engine().sleep(mount_.index_cpu_per_entry *
+                          static_cast<std::int64_t>(builder.total_entries()));
+  IndexPtr index = cache_.get_index(container);
+  if (index == nullptr) {
+    // Per-writer logs are timestamp-sorted runs; merge instead of re-sorting.
+    index = builder.build();
+    // Only cacheable if no writer touched the container while we aggregated.
+    if (cache_.generation(container) == gen) cache_.put_index(container, index);
   }
-  co_return memo;
+  co_return index;
 }
 
-sim::Task<Result<std::shared_ptr<const Index>>> Plfs::read_global_index(
-    pfs::IoCtx ctx, const std::string& logical) {
+sim::Task<Result<IndexPtr>> Plfs::read_global_index(pfs::IoCtx ctx, const std::string& logical) {
   ContainerLayout lay = layout(logical);
   TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<IndexEntry>> entries,
-                          co_await read_index_log(ctx, lay.global_index_path()));
-  co_return std::make_shared<const Index>(Index::build(*entries));
+                          co_await read_index_log(ctx, logical, lay.global_index_path()));
+  // The flattened file's records are already non-overlapping; one run.
+  IndexBuilder builder(mount_.index_backend);
+  builder.add_run(std::move(entries));
+  co_return builder.build();
 }
 
 sim::Task<Status> Plfs::write_global_index(pfs::IoCtx ctx, const std::string& logical,
-                                           const Index& index) {
+                                           const IndexView& index) {
   ContainerLayout lay = layout(logical);
-  log_memo_.erase(lay.global_index_path());  // rewritten below
+  cache_.invalidate(path_normalize(logical));  // cached global-index log is stale
   TIO_CO_ASSIGN_OR_RETURN(
       pfs::FileId fd, co_await fs_.open(ctx, lay.global_index_path(), OpenFlags::wr_trunc()));
   auto bytes = serialize_entries(index.to_entries());
@@ -231,8 +238,9 @@ sim::Task<Status> Plfs::write_global_index(pfs::IoCtx ctx, const std::string& lo
   co_return written.status();
 }
 
-sim::Task<Result<std::unique_ptr<ReadHandle>>> Plfs::open_read(
-    pfs::IoCtx ctx, std::string logical, std::shared_ptr<const Index> index) {
+sim::Task<Result<std::unique_ptr<ReadHandle>>> Plfs::open_read(pfs::IoCtx ctx,
+                                                               std::string logical,
+                                                               IndexPtr index) {
   ContainerLayout lay = layout(logical);
   if (index == nullptr) {
     // Original design: this reader aggregates every index log itself.
@@ -347,7 +355,7 @@ sim::Task<Status> Plfs::mkdir(pfs::IoCtx ctx, std::string logical_dir) {
 
 sim::Task<Status> Plfs::unlink(pfs::IoCtx ctx, const std::string& logical) {
   ContainerLayout lay = layout(logical);
-  invalidate_memos();
+  cache_.invalidate(path_normalize(logical));
   TIO_CO_ASSIGN_OR_RETURN(bool container, co_await is_container(ctx, logical));
   if (!container) co_return error(Errc::not_found, logical);
   for (std::size_t b = 0; b < mount_.backends.size(); ++b) {

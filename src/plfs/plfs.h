@@ -18,6 +18,8 @@
 #include "pfs/fs_client.h"
 #include "plfs/container.h"
 #include "plfs/index.h"
+#include "plfs/index_builder.h"
+#include "plfs/index_cache.h"
 #include "plfs/mount.h"
 
 namespace tio::plfs {
@@ -44,8 +46,8 @@ class Plfs {
   // Opens the logical file for read with a prebuilt global index (from one
   // of the aggregation strategies); with `index == nullptr`, falls back to
   // the Original design: this process reads every index log itself.
-  sim::Task<Result<std::unique_ptr<ReadHandle>>> open_read(
-      pfs::IoCtx ctx, std::string logical, std::shared_ptr<const Index> index = nullptr);
+  sim::Task<Result<std::unique_ptr<ReadHandle>>> open_read(pfs::IoCtx ctx, std::string logical,
+                                                           IndexPtr index = nullptr);
 
   // --- index-log plumbing (used by the strategies) ---
   // All index logs of the container, as (path, writer) pairs, discovered by
@@ -56,19 +58,18 @@ class Plfs {
   };
   sim::Task<Result<std::vector<IndexLogRef>>> list_index_logs(pfs::IoCtx ctx,
                                                               const std::string& logical);
-  // Reads and parses one index log. The returned vector is shared: many
-  // simulated readers of the same log reuse one host copy (each still pays
-  // the full simulated open/read/close and per-entry CPU cost).
+  // Reads and parses one index log of `logical`'s container. The returned
+  // vector is shared through the index cache: many simulated readers of the
+  // same log reuse one host copy (each still pays the full simulated
+  // open/read/close and per-entry CPU cost).
   sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> read_index_log(
-      pfs::IoCtx ctx, std::string path);
+      pfs::IoCtx ctx, std::string logical, std::string path);
   // The Original design, one process: enumerate + read every index log.
-  sim::Task<Result<std::shared_ptr<const Index>>> build_index_serial(pfs::IoCtx ctx,
-                                                                     std::string logical);
+  sim::Task<Result<IndexPtr>> build_index_serial(pfs::IoCtx ctx, std::string logical);
   // Flattened global index file (written at close by Index Flatten).
-  sim::Task<Result<std::shared_ptr<const Index>>> read_global_index(pfs::IoCtx ctx,
-                                                                    const std::string& logical);
+  sim::Task<Result<IndexPtr>> read_global_index(pfs::IoCtx ctx, const std::string& logical);
   sim::Task<Status> write_global_index(pfs::IoCtx ctx, const std::string& logical,
-                                       const Index& index);
+                                       const IndexView& index);
 
   // --- logical namespace operations ---
   sim::Task<Result<bool>> is_container(pfs::IoCtx ctx, const std::string& logical);
@@ -85,6 +86,10 @@ class Plfs {
   // concurrent creation.
   sim::Task<Status> ensure_dir(pfs::IoCtx ctx, std::string dir);
 
+  // The shared index cache (built indices and parsed index logs); exposed
+  // for tests and bench instrumentation.
+  IndexCache& index_cache() { return cache_; }
+
  private:
   friend class WriteHandle;
   friend class ReadHandle;
@@ -97,16 +102,10 @@ class Plfs {
   // real processes hold their copies in separate nodes' memory, but the
   // simulator holds all ranks in one address space, so N identical
   // million-mapping indices would exhaust host memory. Every rank still
-  // pays the full simulated read + CPU cost; invalidated whenever the
-  // container changes.
-  std::unordered_map<std::string, std::shared_ptr<const Index>> serial_index_memo_;
-  // Same sharing for parsed per-log entry vectors; both memos are cleared
-  // whenever any container changes (open_write/unlink).
-  std::unordered_map<std::string, std::shared_ptr<const std::vector<IndexEntry>>> log_memo_;
-  void invalidate_memos() {
-    serial_index_memo_.clear();
-    log_memo_.clear();
-  }
+  // pays the full simulated read + CPU cost. Unlike the old ad-hoc memo
+  // maps (cleared wholesale on any write anywhere), the cache is
+  // byte-budgeted and invalidated per container.
+  IndexCache cache_;
 };
 
 // A single writer's open stream (one per process per logical file).
@@ -156,13 +155,12 @@ class ReadHandle {
   sim::Task<Result<FragmentList>> read(std::uint64_t offset, std::uint64_t len);
   sim::Task<Status> close();
 
-  const Index& index() const { return *index_; }
+  const IndexView& index() const { return *index_; }
   std::uint64_t logical_size() const { return index_->logical_size(); }
 
  private:
   friend class Plfs;
-  ReadHandle(Plfs& plfs, pfs::IoCtx ctx, ContainerLayout layout,
-             std::shared_ptr<const Index> index)
+  ReadHandle(Plfs& plfs, pfs::IoCtx ctx, ContainerLayout layout, IndexPtr index)
       : plfs_(&plfs), ctx_(ctx), layout_(std::move(layout)), index_(std::move(index)) {}
 
   sim::Task<Result<pfs::FileId>> data_fd(std::uint32_t writer);
@@ -170,7 +168,7 @@ class ReadHandle {
   Plfs* plfs_;
   pfs::IoCtx ctx_;
   ContainerLayout layout_;
-  std::shared_ptr<const Index> index_;
+  IndexPtr index_;
   std::unordered_map<std::uint32_t, pfs::FileId> data_fds_;
   bool closed_ = false;
 };

@@ -83,6 +83,7 @@ Rig::Rig(Options options)
   const std::size_t backends =
       options.plfs_backends > 0 ? options.plfs_backends : options.pfs.num_mds;
   mount_ = plfs_mount(backends, options.num_subdirs);
+  mount_.index_backend = options.index_backend;
   plfs_ = std::make_unique<plfs::Plfs>(*pfs_, mount_);
   // Pre-create ("mount") the volume roots plus the direct-access dir.
   for (const auto& b : mount_.backends) {

@@ -43,6 +43,7 @@ class Rig {
     pfs::PfsConfig pfs;
     std::size_t plfs_backends = 0;  // 0 = one backend per MDS
     std::size_t num_subdirs = 32;
+    plfs::IndexBackend index_backend = plfs::IndexBackend::flat;
     std::uint64_t seed = 0x7e57bed;
   };
 

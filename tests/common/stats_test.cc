@@ -57,5 +57,41 @@ TEST(Series, EmptyThrows) {
   EXPECT_DOUBLE_EQ(s.sum(), 0.0);
 }
 
+TEST(Counters, RegistryIsNamedAndPersistent) {
+  Counter& c = counter("test.stats.alpha");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same counter.
+  EXPECT_EQ(&counter("test.stats.alpha"), &c);
+  EXPECT_EQ(counter("test.stats.alpha").value(), 42u);
+}
+
+TEST(Counters, SnapshotFiltersByPrefixAndSortsByName) {
+  counter("test.snap.b").reset();
+  counter("test.snap.a").reset();
+  counter("test.snap.a").add(1);
+  counter("test.snap.b").add(2);
+  const auto snap = counter_snapshot("test.snap.");
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "test.snap.a");
+  EXPECT_EQ(snap[0].second, 1u);
+  EXPECT_EQ(snap[1].first, "test.snap.b");
+  EXPECT_EQ(snap[1].second, 2u);
+  // Unmatched prefix -> empty.
+  EXPECT_TRUE(counter_snapshot("test.snap.nothing").empty());
+}
+
+TEST(Counters, ResetCountersZeroesButKeepsRegistration) {
+  Counter& c = counter("test.reset.x");
+  c.add(7);
+  reset_counters();
+  EXPECT_EQ(c.value(), 0u);
+  const auto snap = counter_snapshot("test.reset.");
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].second, 0u);
+}
+
 }  // namespace
 }  // namespace tio

@@ -1,0 +1,136 @@
+#include "plfs/index_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plfs/index.h"
+
+namespace tio::plfs {
+namespace {
+
+IndexCache::LogEntries make_log(std::size_t n, std::uint32_t writer = 0) {
+  auto v = std::make_shared<std::vector<IndexEntry>>();
+  std::uint64_t phys = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v->push_back(IndexEntry{i * 100, 100, phys, static_cast<std::int64_t>(i + 1), writer});
+    phys += 100;
+  }
+  return v;
+}
+
+IndexPtr make_index(std::size_t n) {
+  return std::make_shared<const FlatIndex>(FlatIndex::build(*make_log(n)));
+}
+
+TEST(IndexCache, IndexRoundTripAndStats) {
+  IndexCache cache(1 << 20);
+  EXPECT_EQ(cache.get_index("/a"), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const IndexPtr idx = make_index(10);
+  cache.put_index("/a", idx);
+  EXPECT_EQ(cache.get_index("/a"), idx);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, idx->memory_bytes());
+}
+
+TEST(IndexCache, LogRoundTrip) {
+  IndexCache cache(1 << 20);
+  const auto log = make_log(8);
+  cache.put_log("/a", "/vol0/log.3", log);
+  EXPECT_EQ(cache.get_log("/a", "/vol0/log.3"), log);
+  EXPECT_EQ(cache.get_log("/a", "/vol0/log.4"), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 8 * sizeof(IndexEntry));
+}
+
+TEST(IndexCache, EvictsLeastRecentlyUsedWhenOverBudget) {
+  const std::uint64_t per_log = 10 * sizeof(IndexEntry);
+  IndexCache cache(3 * per_log);
+  cache.put_log("/a", "p0", make_log(10));
+  cache.put_log("/a", "p1", make_log(10));
+  cache.put_log("/a", "p2", make_log(10));
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch p0 so p1 becomes the LRU victim.
+  EXPECT_NE(cache.get_log("/a", "p0"), nullptr);
+  cache.put_log("/a", "p3", make_log(10));
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.get_log("/a", "p1"), nullptr);
+  EXPECT_NE(cache.get_log("/a", "p0"), nullptr);
+  EXPECT_NE(cache.get_log("/a", "p2"), nullptr);
+  EXPECT_NE(cache.get_log("/a", "p3"), nullptr);
+  EXPECT_LE(cache.stats().bytes, cache.budget_bytes());
+}
+
+TEST(IndexCache, InvalidationIsPerContainer) {
+  IndexCache cache(1 << 20);
+  cache.put_index("/a", make_index(4));
+  cache.put_log("/a", "a-log", make_log(4));
+  cache.put_index("/b", make_index(4));
+
+  cache.invalidate("/a");
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.get_index("/a"), nullptr);
+  EXPECT_EQ(cache.get_log("/a", "a-log"), nullptr);
+  // The other container stays warm.
+  EXPECT_NE(cache.get_index("/b"), nullptr);
+}
+
+TEST(IndexCache, GenerationBumpsOnEveryInvalidate) {
+  IndexCache cache(1 << 20);
+  EXPECT_EQ(cache.generation("/a"), 0u);
+  cache.invalidate("/a");
+  EXPECT_EQ(cache.generation("/a"), 1u);
+  cache.invalidate("/a");
+  cache.invalidate("/a");
+  EXPECT_EQ(cache.generation("/a"), 3u);
+  EXPECT_EQ(cache.generation("/b"), 0u);
+}
+
+TEST(IndexCache, OversizedEntryIsNotCached) {
+  IndexCache cache(5 * sizeof(IndexEntry));
+  cache.put_log("/a", "small", make_log(4));
+  cache.put_log("/a", "huge", make_log(100));  // larger than the whole budget
+  EXPECT_EQ(cache.get_log("/a", "huge"), nullptr);
+  // It did not push the small entry out either.
+  EXPECT_NE(cache.get_log("/a", "small"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(IndexCache, ZeroBudgetDisablesCaching) {
+  IndexCache cache(0);
+  cache.put_index("/a", make_index(4));
+  cache.put_log("/a", "p", make_log(4));
+  EXPECT_EQ(cache.get_index("/a"), nullptr);
+  EXPECT_EQ(cache.get_log("/a", "p"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(IndexCache, ReplacingAKeyDoesNotDoubleCount) {
+  IndexCache cache(1 << 20);
+  cache.put_log("/a", "p", make_log(10));
+  cache.put_log("/a", "p", make_log(20));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, 20 * sizeof(IndexEntry));
+  EXPECT_EQ(cache.get_log("/a", "p")->size(), 20u);
+}
+
+TEST(IndexCache, ClearDropsEverythingButKeepsGenerations) {
+  IndexCache cache(1 << 20);
+  cache.put_index("/a", make_index(4));
+  cache.invalidate("/b");
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.get_index("/a"), nullptr);
+  EXPECT_EQ(cache.generation("/b"), 1u);
+}
+
+}  // namespace
+}  // namespace tio::plfs

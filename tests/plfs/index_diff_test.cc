@@ -1,0 +1,214 @@
+// Differential tests: FlatIndex vs BTreeIndex (the correctness oracle).
+//
+// Unit level: identical randomized overlapping/striding write pools are fed
+// to both backends; lookup() results, logical_size(), and the compressed
+// mapping set itself must be identical. The pools respect the simulator's
+// invariant that each writer's timestamps increase with its physical
+// offsets (a writer's log is appended in time order) — under it both
+// backends produce the same canonical maximally-compressed mapping set, so
+// the comparison is exact, not just byte-equivalent.
+//
+// Strategy level: a strided N-1 file is aggregated through all three
+// ReadStrategy values with each backend; every (strategy, backend)
+// combination must expand to byte-identical lookup results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "localfs/mem_fs.h"
+#include "pfs/sim_pfs.h"
+#include "plfs/index.h"
+#include "plfs/index_builder.h"
+#include "plfs/mpiio.h"
+
+namespace tio::plfs {
+namespace {
+
+struct Pool {
+  std::vector<IndexEntry> entries;  // shuffled
+  std::uint64_t domain = 0;         // all logical offsets < domain
+};
+
+// Overlapping + strided writes from several writers. Timestamps increase
+// globally (so per-writer monotone), physical offsets accumulate per
+// writer — the same shape WriteHandle produces.
+Pool random_pool(std::uint64_t seed, int writers, int ops) {
+  Rng rng(seed);
+  Pool pool;
+  pool.domain = 1 << 20;
+  std::vector<std::uint64_t> phys(writers, 0);
+  for (int op = 0; op < ops; ++op) {
+    const auto writer = static_cast<std::uint32_t>(rng.below(writers));
+    std::uint64_t off;
+    std::uint64_t len;
+    switch (rng.below(3)) {
+      case 0:  // strided record
+        len = 4096;
+        off = rng.below(pool.domain / len) * len;
+        break;
+      case 1:  // large overwrite
+        len = 1 + rng.below(64 << 10);
+        off = rng.below(pool.domain - len);
+        break;
+      default:  // small unaligned scribble
+        len = 1 + rng.below(512);
+        off = rng.below(pool.domain - len);
+        break;
+    }
+    pool.entries.push_back(
+        IndexEntry{off, len, phys[writer], static_cast<std::int64_t>(op + 1), writer});
+    phys[writer] += len;
+  }
+  // Shuffle: build() must not depend on input order.
+  for (std::size_t i = pool.entries.size(); i > 1; --i) {
+    std::swap(pool.entries[i - 1], pool.entries[rng.below(i)]);
+  }
+  return pool;
+}
+
+class IndexDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexDiff, FlatMatchesBTreeExactly) {
+  const Pool pool = random_pool(GetParam(), /*writers=*/8, /*ops=*/500);
+  const BTreeIndex oracle = BTreeIndex::build(pool.entries);
+  const FlatIndex flat = FlatIndex::build(pool.entries);
+
+  EXPECT_EQ(flat.logical_size(), oracle.logical_size());
+  EXPECT_EQ(flat.mapping_count(), oracle.mapping_count());
+  // The canonical compressed mapping sets are identical, so serialization
+  // is byte-identical too.
+  EXPECT_EQ(serialize_entries(flat.to_entries()), serialize_entries(oracle.to_entries()));
+  // Full-range and random ranged lookups agree exactly.
+  EXPECT_EQ(flat.lookup(0, pool.domain), oracle.lookup(0, pool.domain));
+  Rng rng(GetParam() ^ 0xD1FF);
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::uint64_t off = rng.below(pool.domain);
+    const std::uint64_t len = 1 + rng.below(128 << 10);
+    EXPECT_EQ(flat.lookup(off, len), oracle.lookup(off, len)) << "probe " << probe;
+  }
+  // Past-EOF and zero-length probes.
+  EXPECT_EQ(flat.lookup(pool.domain * 2, 100), oracle.lookup(pool.domain * 2, 100));
+  EXPECT_EQ(flat.lookup(5, 0), oracle.lookup(5, 0));
+}
+
+TEST_P(IndexDiff, UncompressedBackendsAgree) {
+  const Pool pool = random_pool(GetParam() ^ 0xC0FFEE, 5, 300);
+  const BTreeIndex oracle = BTreeIndex::build(pool.entries, /*compress=*/false);
+  const FlatIndex flat = FlatIndex::build(pool.entries, /*compress=*/false);
+  EXPECT_EQ(flat.logical_size(), oracle.logical_size());
+  EXPECT_EQ(flat.lookup(0, pool.domain), oracle.lookup(0, pool.domain));
+}
+
+TEST_P(IndexDiff, BuilderMergeMatchesPoolSort) {
+  // Split the pool into per-writer runs (each timestamp-sorted, like real
+  // index logs); the k-way merge path must equal the sort-the-pool path.
+  const Pool pool = random_pool(GetParam() ^ 0x5EED, 6, 400);
+  std::vector<std::vector<IndexEntry>> runs(6);
+  for (const auto& e : pool.entries) runs[e.writer].push_back(e);
+  IndexBuilder flat_builder(IndexBackend::flat);
+  IndexBuilder btree_builder(IndexBackend::btree);
+  for (auto& r : runs) {
+    std::sort(r.begin(), r.end(), entry_timestamp_less);
+    flat_builder.add_entries(r);
+    btree_builder.add_entries(std::move(r));
+  }
+  const IndexPtr flat = flat_builder.build();
+  const IndexPtr btree = btree_builder.build();
+  const FlatIndex direct = FlatIndex::build(pool.entries);
+
+  EXPECT_EQ(flat->lookup(0, pool.domain), direct.lookup(0, pool.domain));
+  EXPECT_EQ(btree->lookup(0, pool.domain), direct.lookup(0, pool.domain));
+  EXPECT_EQ(flat->logical_size(), direct.logical_size());
+  EXPECT_EQ(btree->logical_size(), direct.logical_size());
+  EXPECT_EQ(serialize_entries(flat->to_entries()), serialize_entries(btree->to_entries()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexDiff,
+                         ::testing::Values(1, 7, 13, 99, 1234, 987654, 0xFEEDFACE));
+
+// --- strategy-level: every ReadStrategy x every backend, same results ---
+
+struct World {
+  explicit World(IndexBackend backend)
+      : cluster(engine, cluster_config()), pfs(cluster, pfs_config()),
+        plfs(pfs, mount_config(backend)) {
+    for (const auto& b : plfs.mount().backends) {
+      if (!pfs.ns().mkdir_all(b).ok()) std::abort();
+    }
+  }
+  static net::ClusterConfig cluster_config() {
+    net::ClusterConfig c;
+    c.nodes = 16;
+    c.cores_per_node = 4;
+    return c;
+  }
+  static pfs::PfsConfig pfs_config() {
+    pfs::PfsConfig c;
+    c.num_mds = 4;
+    c.num_osts = 8;
+    return c;
+  }
+  static PlfsMount mount_config(IndexBackend backend) {
+    PlfsMount m;
+    for (std::size_t i = 0; i < 4; ++i) {
+      m.backends.push_back("/vol" + std::to_string(i) + "/plfs");
+    }
+    m.num_subdirs = 8;
+    m.index_flush_every = 8;
+    m.index_backend = backend;
+    return m;
+  }
+
+  sim::Engine engine;
+  net::Cluster cluster;
+  pfs::SimPfs pfs;
+  Plfs plfs;
+};
+
+TEST(IndexDiffStrategies, AllStrategiesAndBackendsExpandIdentically) {
+  constexpr int kProcs = 9;
+  constexpr std::uint64_t kRecord = 3000;
+  constexpr int kRounds = 4;
+  const std::uint64_t total = static_cast<std::uint64_t>(kProcs) * kRounds * kRecord;
+
+  std::vector<std::vector<IndexView::Mapping>> expansions;
+  std::vector<std::uint64_t> sizes;
+  for (const IndexBackend backend : {IndexBackend::btree, IndexBackend::flat}) {
+    World w(backend);
+    mpi::run_spmd(w.cluster, kProcs, [&w](mpi::Comm comm) -> sim::Task<void> {
+      auto file = co_await MpiFile::open_write(w.plfs, comm, "/diff");
+      EXPECT_TRUE(file.ok()) << file.status();
+      if (!file.ok()) co_return;
+      for (int r = 0; r < kRounds; ++r) {
+        const std::uint64_t off =
+            (static_cast<std::uint64_t>(r) * comm.size() + comm.rank()) * kRecord;
+        EXPECT_TRUE((co_await (*file)->write(off, DataView::pattern(7, off, kRecord))).ok());
+      }
+      EXPECT_TRUE((co_await (*file)->close_write(/*flatten=*/true)).ok());
+    });
+    for (const ReadStrategy strategy : {ReadStrategy::original, ReadStrategy::index_flatten,
+                                        ReadStrategy::parallel_read}) {
+      IndexPtr got;
+      mpi::run_spmd(w.cluster, kProcs,
+                    [&w, &got, strategy](mpi::Comm comm) -> sim::Task<void> {
+                      auto idx = co_await aggregate_index(w.plfs, comm, "/diff", strategy);
+                      EXPECT_TRUE(idx.ok()) << idx.status();
+                      if (idx.ok() && comm.rank() == 0) got = *idx;
+                    });
+      ASSERT_NE(got, nullptr);
+      expansions.push_back(got->lookup(0, total));
+      sizes.push_back(got->logical_size());
+    }
+  }
+  ASSERT_EQ(expansions.size(), 6u);
+  for (std::size_t i = 1; i < expansions.size(); ++i) {
+    EXPECT_EQ(expansions[i], expansions[0]) << "combination " << i;
+    EXPECT_EQ(sizes[i], sizes[0]) << "combination " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tio::plfs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 
 #include "common/rng.h"
@@ -42,6 +43,40 @@ TEST(IndexSerialization, PartialRecordIsError) {
   EXPECT_EQ(deserialize_entries(fl).status().code(), Errc::io_error);
 }
 
+TEST(IndexSerialization, ZeroLengthRecordIsError) {
+  std::vector<IndexEntry> in = {entry(0, 100, 0, 1, 0), entry(100, 0, 100, 2, 0)};
+  FragmentList fl;
+  fl.append(DataView::literal(serialize_entries(in)));
+  EXPECT_EQ(deserialize_entries(fl).status().code(), Errc::io_error);
+}
+
+TEST(IndexSerialization, LogicalExtentOverflowIsError) {
+  std::vector<IndexEntry> in = {
+      entry(std::numeric_limits<std::uint64_t>::max() - 10, 100, 0, 1, 0)};
+  FragmentList fl;
+  fl.append(DataView::literal(serialize_entries(in)));
+  EXPECT_EQ(deserialize_entries(fl).status().code(), Errc::io_error);
+}
+
+TEST(IndexSerialization, PhysicalExtentOverflowIsError) {
+  std::vector<IndexEntry> in = {
+      entry(0, 100, std::numeric_limits<std::uint64_t>::max() - 10, 1, 0)};
+  FragmentList fl;
+  fl.append(DataView::literal(serialize_entries(in)));
+  EXPECT_EQ(deserialize_entries(fl).status().code(), Errc::io_error);
+}
+
+TEST(IndexSerialization, TruncatedLogIsError) {
+  // A log cut off mid-record (e.g. a writer died mid-append) must be
+  // rejected wholesale, not parsed up to the tear.
+  std::vector<IndexEntry> in = {entry(0, 100, 0, 1, 0), entry(100, 100, 100, 2, 0)};
+  const auto bytes = serialize_entries(in);
+  const auto whole = DataView::literal(bytes);
+  FragmentList fl;
+  fl.append(whole.slice(0, bytes.size() - 16));
+  EXPECT_EQ(deserialize_entries(fl).status().code(), Errc::io_error);
+}
+
 TEST(IndexSerialization, SurvivesFragmentation) {
   std::vector<IndexEntry> in = {entry(1, 2, 3, 4, 5), entry(6, 7, 8, 9, 10)};
   const auto bytes = serialize_entries(in);
@@ -54,23 +89,23 @@ TEST(IndexSerialization, SurvivesFragmentation) {
   EXPECT_EQ(*out, in);
 }
 
-TEST(Index, EmptyIndex) {
-  const Index idx = Index::build({});
+TEST(BTreeIndex, EmptyIndex) {
+  const BTreeIndex idx = BTreeIndex::build({});
   EXPECT_EQ(idx.logical_size(), 0u);
   EXPECT_TRUE(idx.lookup(0, 100).empty());
   EXPECT_EQ(idx.mapping_count(), 0u);
 }
 
-TEST(Index, SingleEntryLookup) {
-  const Index idx = Index::build({entry(100, 50, 0, 1, 2)});
+TEST(BTreeIndex, SingleEntryLookup) {
+  const BTreeIndex idx = BTreeIndex::build({entry(100, 50, 0, 1, 2)});
   auto m = idx.lookup(100, 50);
   ASSERT_EQ(m.size(), 1u);
-  EXPECT_EQ(m[0], (Index::Mapping{100, 50, 2, 0}));
+  EXPECT_EQ(m[0], (IndexView::Mapping{100, 50, 2, 0}));
   EXPECT_EQ(idx.logical_size(), 150u);
 }
 
-TEST(Index, LookupClipsToRequest) {
-  const Index idx = Index::build({entry(100, 100, 500, 1, 1)});
+TEST(BTreeIndex, LookupClipsToRequest) {
+  const BTreeIndex idx = BTreeIndex::build({entry(100, 100, 500, 1, 1)});
   auto m = idx.lookup(150, 20);
   ASSERT_EQ(m.size(), 1u);
   EXPECT_EQ(m[0].logical_offset, 150u);
@@ -78,8 +113,8 @@ TEST(Index, LookupClipsToRequest) {
   EXPECT_EQ(m[0].physical_offset, 550u);
 }
 
-TEST(Index, LaterTimestampWinsOnOverlap) {
-  const Index idx = Index::build({
+TEST(BTreeIndex, LaterTimestampWinsOnOverlap) {
+  const BTreeIndex idx = BTreeIndex::build({
       entry(0, 100, 0, /*ts=*/10, /*writer=*/1),
       entry(40, 20, 0, /*ts=*/20, /*writer=*/2),
   });
@@ -94,16 +129,16 @@ TEST(Index, LaterTimestampWinsOnOverlap) {
   EXPECT_EQ(m[2].physical_offset, 60u);  // split keeps physical alignment
 }
 
-TEST(Index, BuildOrderDoesNotMatterTimestampsDo) {
+TEST(BTreeIndex, BuildOrderDoesNotMatterTimestampsDo) {
   const std::vector<IndexEntry> forward = {entry(0, 100, 0, 10, 1), entry(40, 20, 0, 20, 2)};
   const std::vector<IndexEntry> reversed = {entry(40, 20, 0, 20, 2), entry(0, 100, 0, 10, 1)};
-  const Index a = Index::build(forward);
-  const Index b = Index::build(reversed);
+  const BTreeIndex a = BTreeIndex::build(forward);
+  const BTreeIndex b = BTreeIndex::build(reversed);
   EXPECT_EQ(a.lookup(0, 100), b.lookup(0, 100));
 }
 
-TEST(Index, OlderEntryNeverClobbersNewer) {
-  const Index idx = Index::build({
+TEST(BTreeIndex, OlderEntryNeverClobbersNewer) {
+  const BTreeIndex idx = BTreeIndex::build({
       entry(0, 50, 0, /*ts=*/30, 1),   // newest, inserted last by sort
       entry(0, 100, 0, /*ts=*/10, 2),  // oldest
   });
@@ -115,8 +150,8 @@ TEST(Index, OlderEntryNeverClobbersNewer) {
   EXPECT_EQ(m[1].logical_offset, 50u);
 }
 
-TEST(Index, GapsAreOmittedFromLookup) {
-  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(100, 10, 10, 2, 1)});
+TEST(BTreeIndex, GapsAreOmittedFromLookup) {
+  const BTreeIndex idx = BTreeIndex::build({entry(0, 10, 0, 1, 1), entry(100, 10, 10, 2, 1)});
   auto m = idx.lookup(0, 200);
   ASSERT_EQ(m.size(), 2u);
   EXPECT_EQ(m[0].logical_offset, 0u);
@@ -124,13 +159,13 @@ TEST(Index, GapsAreOmittedFromLookup) {
   EXPECT_EQ(idx.logical_size(), 110u);
 }
 
-TEST(Index, CompressesContiguousSameWriterEntries) {
+TEST(BTreeIndex, CompressesContiguousSameWriterEntries) {
   // A sequential writer: 100 entries, logically and physically contiguous.
   std::vector<IndexEntry> entries;
   for (int i = 0; i < 100; ++i) {
     entries.push_back(entry(i * 1000, 1000, i * 1000, i + 1, 4));
   }
-  const Index idx = Index::build(entries);
+  const BTreeIndex idx = BTreeIndex::build(entries);
   EXPECT_EQ(idx.mapping_count(), 1u);
   EXPECT_EQ(idx.logical_size(), 100000u);
   auto m = idx.lookup(55500, 1000);
@@ -138,18 +173,18 @@ TEST(Index, CompressesContiguousSameWriterEntries) {
   EXPECT_EQ(m[0].physical_offset, 55500u);
 }
 
-TEST(Index, DoesNotCompressAcrossWriters) {
-  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(10, 10, 0, 2, 2)});
+TEST(BTreeIndex, DoesNotCompressAcrossWriters) {
+  const BTreeIndex idx = BTreeIndex::build({entry(0, 10, 0, 1, 1), entry(10, 10, 0, 2, 2)});
   EXPECT_EQ(idx.mapping_count(), 2u);
 }
 
-TEST(Index, DoesNotCompressNonContiguousPhysical) {
+TEST(BTreeIndex, DoesNotCompressNonContiguousPhysical) {
   // N-1 strided writer: logical gaps between its records.
-  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(100, 10, 10, 2, 1)});
+  const BTreeIndex idx = BTreeIndex::build({entry(0, 10, 0, 1, 1), entry(100, 10, 10, 2, 1)});
   EXPECT_EQ(idx.mapping_count(), 2u);
 }
 
-TEST(Index, StridedPatternFromManyWritersStaysPerRecord) {
+TEST(BTreeIndex, StridedPatternFromManyWritersStaysPerRecord) {
   // 4 writers, stride 4: writer w owns records w, w+4, w+8 ... nothing
   // merges because neighbours in logical space come from different writers.
   std::vector<IndexEntry> entries;
@@ -158,24 +193,24 @@ TEST(Index, StridedPatternFromManyWritersStaysPerRecord) {
     const std::uint32_t w = i % 4;
     entries.push_back(entry(i * rec, rec, (i / 4) * rec, i + 1, w));
   }
-  const Index idx = Index::build(entries);
+  const BTreeIndex idx = BTreeIndex::build(entries);
   EXPECT_EQ(idx.mapping_count(), 64u);
   // But every byte is mapped.
   auto m = idx.lookup(0, 64 * rec);
   EXPECT_EQ(m.size(), 64u);
 }
 
-TEST(Index, ToEntriesRoundTripsThroughBuild) {
+TEST(BTreeIndex, ToEntriesRoundTripsThroughBuild) {
   std::vector<IndexEntry> entries;
   for (int i = 0; i < 10; ++i) entries.push_back(entry(i * 7, 7, i * 13, i, i % 3));
-  const Index idx = Index::build(entries);
-  const Index again = Index::build(idx.to_entries());
+  const BTreeIndex idx = BTreeIndex::build(entries);
+  const BTreeIndex again = BTreeIndex::build(idx.to_entries());
   EXPECT_EQ(idx.lookup(0, 100), again.lookup(0, 100));
   EXPECT_EQ(idx.logical_size(), again.logical_size());
 }
 
-TEST(Index, SerializedBytesTracksMappingCount) {
-  const Index idx = Index::build({entry(0, 10, 0, 1, 1), entry(20, 10, 10, 2, 1)});
+TEST(BTreeIndex, SerializedBytesTracksMappingCount) {
+  const BTreeIndex idx = BTreeIndex::build({entry(0, 10, 0, 1, 1), entry(20, 10, 10, 2, 1)});
   EXPECT_EQ(idx.serialized_bytes(), 2 * IndexEntry::kSerializedSize);
 }
 
@@ -207,7 +242,7 @@ TEST_P(IndexProperty, MatchesReferenceUnderRandomOverlappingWrites) {
   for (std::size_t i = entries.size(); i > 1; --i) {
     std::swap(entries[i - 1], entries[rng.below(i)]);
   }
-  const Index idx = Index::build(entries);
+  const BTreeIndex idx = BTreeIndex::build(entries);
 
   // Reconstruct a byte-level view from lookups and compare.
   std::vector<std::pair<int, std::uint64_t>> got(kSize, {-1, 0});

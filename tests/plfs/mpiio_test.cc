@@ -122,10 +122,10 @@ TEST(StrategyEquivalence, AllThreeStrategiesProduceTheSameIndex) {
   mpi::run_spmd(w.cluster, n, [&w](mpi::Comm comm) -> sim::Task<void> {
     co_await write_strided(w.plfs, comm, "/eq", 2000, 4, /*flatten=*/true);
   });
-  std::vector<std::shared_ptr<const Index>> indices;
+  std::vector<IndexPtr> indices;
   for (const auto strategy : {ReadStrategy::original, ReadStrategy::index_flatten,
                               ReadStrategy::parallel_read}) {
-    std::shared_ptr<const Index> got;
+    IndexPtr got;
     mpi::run_spmd(w.cluster, n, [&w, &got, strategy](mpi::Comm comm) -> sim::Task<void> {
       auto idx = co_await aggregate_index(w.plfs, comm, "/eq", strategy);
       EXPECT_TRUE(idx.ok());
