@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
                Table::num(close_s, 3), Table::num(open_s, 3)});
   }
   t.print(std::cout);
+  bench::print_sim_counters();
   return 0;
 }

@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
                Table::num(open_s, 3)});
   }
   t.print(std::cout);
+  bench::print_sim_counters();
   return 0;
 }

@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
                    "x"});
   }
   t.print(std::cout);
+  bench::print_sim_counters();
   return 0;
 }

@@ -71,9 +71,33 @@ inline plfs::IndexBackend index_backend_or_die(const std::string& name) {
 inline void print_index_counters() {
   const auto counters = counter_snapshot("plfs.index");
   if (counters.empty()) return;
-  std::printf("\n-- index counters (host-side) --\n");
+  // stderr on purpose: build_ns is host wall time, and stdout must stay
+  // byte-identical across runs (the determinism check diffs it).
+  std::fprintf(stderr, "\n-- index counters (host-side) --\n");
   for (const auto& [name, value] : counters) {
-    std::printf("%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    std::fprintf(stderr, "%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+}
+
+// Wall-clock engine instrumentation: raw sim.engine.* counters plus the
+// derived events-per-second figure the scaling sweeps are gated by. Written
+// to stderr so figure tables on stdout stay byte-comparable across runs.
+inline void print_sim_counters() {
+  auto counters = counter_snapshot("sim.engine");
+  const auto spills = counter_snapshot("common.fn");
+  counters.insert(counters.end(), spills.begin(), spills.end());
+  if (counters.empty()) return;
+  std::fprintf(stderr, "\n-- engine counters (host-side) --\n");
+  std::uint64_t events = 0, wall_ns = 0;
+  for (const auto& [name, value] : counters) {
+    if (name == "sim.engine.events") events = value;
+    if (name == "sim.engine.run_wall_ns") wall_ns = value;
+    std::fprintf(stderr, "%-36s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  if (events > 0 && wall_ns > 0) {
+    std::fprintf(stderr, "%-36s %.3f\n", "sim.engine.events_per_sec_millions",
+                 static_cast<double>(events) / (static_cast<double>(wall_ns) * 1e-9) / 1e6);
   }
 }
 

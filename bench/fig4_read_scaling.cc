@@ -138,5 +138,6 @@ int main(int argc, char** argv) {
   }
   d.print(std::cout);
   bench::print_index_counters();
+  bench::print_sim_counters();
   return 0;
 }

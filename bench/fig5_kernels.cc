@@ -95,5 +95,6 @@ int main(int argc, char** argv) {
   kernel_table("Fig. 5f — LANL 3 (strong scaling, 1 KiB records, collective buffering)",
                "near parity; PLFS slightly ahead at the largest scale", procs,
                [&](int n) { return lanl3(n, 16 * scale, {}); });
+  bench::print_sim_counters();
   return 0;
 }

@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
                Table::num(plfs_cells[3][f].close, 3), Table::num(direct_cells[f].close, 3)});
   }
   b.print(std::cout);
+  bench::print_sim_counters();
   return 0;
 }

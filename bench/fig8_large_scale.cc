@@ -112,5 +112,6 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
   bench::print_index_counters();
+  bench::print_sim_counters();
   return 0;
 }

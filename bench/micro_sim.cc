@@ -1,9 +1,22 @@
 // Microbenchmarks of the simulator core (google-benchmark): event loop
 // throughput, fair-share channel churn, and extent-map writes — these bound
 // how large a simulated machine the benches can afford.
+//
+// Convenience flags (translated to google-benchmark's own):
+//   --repeat=N     run every benchmark N times (--benchmark_repetitions)
+//   --json=FILE    also write the JSON report to FILE (--benchmark_out)
+// Results feed BENCH_sim.json; after the run the sim.engine.* counters are
+// printed so pool hit rates are visible next to the throughput numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stats.h"
 #include "pfs/extent_map.h"
 #include "sim/engine.h"
 #include "sim/fairshare.h"
@@ -87,3 +100,39 @@ BENCHMARK(BM_ExtentMapAppendCoalesce)->Arg(10000);
 
 }  // namespace
 }  // namespace tio::sim
+
+int main(int argc, char** argv) {
+  // Translate the convenience flags, pass everything else through.
+  std::vector<std::string> rewritten = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--repeat=", 0) == 0) {
+      rewritten.push_back("--benchmark_repetitions=" +
+                          std::string(arg.substr(std::strlen("--repeat="))));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      rewritten.push_back("--benchmark_out_format=json");
+      rewritten.push_back("--benchmark_out=" +
+                          std::string(arg.substr(std::strlen("--json="))));
+    } else {
+      rewritten.emplace_back(arg);
+    }
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(rewritten.size());
+  for (auto& s : rewritten) bench_argv.push_back(s.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  auto counters = tio::counter_snapshot("sim.engine");
+  const auto spills = tio::counter_snapshot("common.fn");
+  counters.insert(counters.end(), spills.begin(), spills.end());
+  if (!counters.empty()) {
+    std::printf("\n-- sim.engine counters --\n");
+    for (const auto& [name, value] : counters) {
+      std::printf("%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+  }
+  return 0;
+}

@@ -20,4 +20,13 @@ cmake --build --preset asan -j "$jobs"
 echo "==> index differential + cache tests under ASan/UBSan"
 ctest --preset asan -j "$jobs" -R 'IndexDiff|IndexCache|BTreeIndex|IndexProperty'
 
+# DeepAwaitChains is excluded: gcc does not tail-call the coroutine
+# symmetric transfer at -O0, so the 100k-deep chain overflows the stack in
+# any sanitizer build (seed behaves the same); the guarantee it checks is an
+# optimized-build property and stays covered by the default-preset run.
+echo "==> sim/net/mpisim suites under ASan/UBSan (engine pools, intrusive waiters, LRU)"
+ctest --preset asan -j "$jobs" -R \
+  '^(Engine|Determinism|EventPool|FramePool|MoveFn|Mutex|Semaphore|Barrier|Gate|WaitGroup|Queue|FairShare|FcfsServer|Runtime|PageCache|Cluster|Comm)\.' \
+  -E 'DeepAwaitChains'
+
 echo "==> ci.sh: all green"

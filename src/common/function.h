@@ -1,12 +1,30 @@
 // Move-only type-erased callable (std::move_only_function is C++23; we build
 // on C++20). Used for simulator events, which capture move-only state such
 // as coroutine tasks.
+//
+// Small callables (up to kInlineSize bytes, nothrow-move-constructible) are
+// stored inline — the engine's timer/resume closures capture a coroutine
+// handle or two and never touch the global allocator. Larger captures spill
+// to the heap; spills are counted in the "common.fn.heap_spills" counter so
+// a hot path that regresses into allocating is visible in bench output.
 #pragma once
 
+#include <cstddef>
+#include <cstring>
 #include <memory>
+#include <type_traits>
 #include <utility>
 
+#include "common/stats.h"
+
 namespace tio {
+
+namespace detail {
+inline Counter& movefn_spill_counter() {
+  static Counter& c = counter("common.fn.heap_spills");
+  return c;
+}
+}  // namespace detail
 
 template <typename Sig>
 class MoveFn;
@@ -14,29 +32,113 @@ class MoveFn;
 template <typename R, typename... Args>
 class MoveFn<R(Args...)> {
  public:
+  // Room for four pointers: a coroutine handle plus capture state covers
+  // every closure the simulator schedules.
+  static constexpr std::size_t kInlineSize = 4 * sizeof(void*);
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
   MoveFn() = default;
   template <typename F>
     requires(!std::is_same_v<std::decay_t<F>, MoveFn>)
-  MoveFn(F&& f) : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+  MoveFn(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      obj_ = buf_;
+      vt_ = &Ops<D, /*Inline=*/true>::vt;
+    } else {
+      obj_ = new D(std::forward<F>(f));
+      vt_ = &Ops<D, /*Inline=*/false>::vt;
+      detail::movefn_spill_counter().add();
+    }
+  }
 
-  MoveFn(MoveFn&&) noexcept = default;
-  MoveFn& operator=(MoveFn&&) noexcept = default;
+  MoveFn(MoveFn&& other) noexcept { steal(other); }
+  MoveFn& operator=(MoveFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  MoveFn(const MoveFn&) = delete;
+  MoveFn& operator=(const MoveFn&) = delete;
+  ~MoveFn() { reset(); }
 
-  explicit operator bool() const { return impl_ != nullptr; }
-  R operator()(Args... args) { return impl_->call(std::forward<Args>(args)...); }
+  explicit operator bool() const { return vt_ != nullptr; }
+  R operator()(Args... args) { return vt_->call(obj_, std::forward<Args>(args)...); }
+
+  // True when the callable lives in the inline buffer (no heap allocation).
+  bool uses_inline_storage() const { return vt_ != nullptr && obj_ == buf_; }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual R call(Args... args) = 0;
+  template <typename D>
+  static constexpr bool fits_inline = sizeof(D) <= kInlineSize &&
+                                      alignof(D) <= kInlineAlign &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  struct VTable {
+    R (*call)(void*, Args&&...);
+    // Inline: move-construct into `dst` and destroy `src`. Heap: unused.
+    void (*relocate)(void* src, void* dst) noexcept;
+    // Inline: destroy in place. Heap: delete.
+    void (*destroy)(void*) noexcept;
+    // Inline trivially copyable callables (the common case: a coroutine
+    // handle and a capture or two) relocate by memcpy and skip destruction
+    // — no indirect call on move or reset.
+    bool trivial;
   };
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F f) : fn(std::move(f)) {}
-    R call(Args... args) override { return fn(std::forward<Args>(args)...); }
-    F fn;
+
+  template <typename D, bool Inline>
+  struct Ops {
+    static constexpr VTable vt{
+        [](void* o, Args&&... a) -> R {
+          return (*static_cast<D*>(o))(std::forward<Args>(a)...);
+        },
+        [](void* src, void* dst) noexcept {
+          if constexpr (Inline) {
+            D* s = static_cast<D*>(src);
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          }
+        },
+        [](void* o) noexcept {
+          if constexpr (Inline) {
+            static_cast<D*>(o)->~D();
+          } else {
+            delete static_cast<D*>(o);
+          }
+        },
+        Inline && std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>,
+    };
   };
-  std::unique_ptr<Base> impl_;
+
+  void steal(MoveFn& other) noexcept {
+    vt_ = other.vt_;
+    if (!vt_) return;
+    if (other.obj_ == other.buf_) {
+      if (vt_->trivial) {
+        std::memcpy(buf_, other.buf_, kInlineSize);
+      } else {
+        vt_->relocate(other.buf_, buf_);
+      }
+      obj_ = buf_;
+    } else {
+      obj_ = other.obj_;
+    }
+    other.vt_ = nullptr;
+    other.obj_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (vt_ && !vt_->trivial) vt_->destroy(obj_);
+    vt_ = nullptr;
+    obj_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  void* obj_ = nullptr;
+  const VTable* vt_ = nullptr;
 };
 
 }  // namespace tio

@@ -5,11 +5,15 @@
 namespace tio::mpi {
 
 Comm Comm::world(Runtime& rt, int rank) {
-  auto group = std::make_shared<Group>();
-  group->context = 1;
-  group->members.resize(rt.nprocs());
-  for (int i = 0; i < rt.nprocs(); ++i) group->members[i] = i;
-  return Comm(rt, std::move(group), rank);
+  // The world group is identical on every rank; build it once per runtime.
+  if (rt.world_group_ == nullptr) {
+    auto group = std::make_shared<Group>();
+    group->context = 1;
+    group->members.resize(rt.nprocs());
+    for (int i = 0; i < rt.nprocs(); ++i) group->members[i] = i;
+    rt.world_group_ = std::move(group);
+  }
+  return Comm(rt, std::static_pointer_cast<const Group>(rt.world_group_), rank);
 }
 
 sim::Task<void> Comm::send_any(int dest, int tag, std::any payload, std::uint64_t bytes) {

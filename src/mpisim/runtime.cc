@@ -17,13 +17,24 @@ std::size_t Runtime::node_of(int rank) const {
 
 sim::Queue<std::any>& Runtime::mailbox(const MailboxKey& key) {
   auto& slot = mailboxes_[key];
-  if (!slot) slot = std::make_unique<sim::Queue<std::any>>(engine());
+  if (slot == nullptr) {
+    if (!idle_queues_.empty()) {
+      slot = idle_queues_.back();
+      idle_queues_.pop_back();
+    } else {
+      all_queues_.push_back(std::make_unique<sim::Queue<std::any>>(engine()));
+      slot = all_queues_.back().get();
+    }
+  }
   return *slot;
 }
 
 void Runtime::gc_mailbox(const MailboxKey& key) {
-  const auto it = mailboxes_.find(key);
-  if (it != mailboxes_.end() && it->second->idle()) mailboxes_.erase(it);
+  sim::Queue<std::any>* const* slot = mailboxes_.find(key);
+  if (slot != nullptr && (*slot)->idle()) {
+    idle_queues_.push_back(*slot);
+    mailboxes_.erase(key);
+  }
 }
 
 void run_spmd(net::Cluster& cluster, int nprocs,

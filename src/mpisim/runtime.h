@@ -10,8 +10,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "net/cluster.h"
 #include "sim/sync.h"
@@ -48,6 +49,8 @@ class Runtime {
   void gc_mailbox(const MailboxKey& key);
 
  private:
+  friend class Comm;  // caches the shared world group below
+
   struct KeyHash {
     std::size_t operator()(const MailboxKey& k) const {
       std::uint64_t h = hash_combine(k.context, static_cast<std::uint64_t>(k.dst));
@@ -58,7 +61,18 @@ class Runtime {
 
   net::Cluster& cluster_;
   int nprocs_;
-  std::unordered_map<MailboxKey, std::unique_ptr<sim::Queue<std::any>>, KeyHash> mailboxes_;
+  // A mailbox lives for exactly one message on the collective paths (fresh
+  // tag per operation), so both sides of the lookup are churn-optimized:
+  // the map is open-addressed (no node allocation per message) and drained
+  // Queue objects recycle through idle_queues_ instead of being destroyed.
+  // all_queues_ owns every Queue ever minted, whatever map state it dies in.
+  FlatMap<MailboxKey, sim::Queue<std::any>*, KeyHash> mailboxes_;
+  std::vector<std::unique_ptr<sim::Queue<std::any>>> all_queues_;
+  std::vector<sim::Queue<std::any>*> idle_queues_;
+  // Comm::world's group is identical for every rank; building it per rank
+  // would be O(nprocs^2). Stored type-erased to avoid a header cycle with
+  // comm.h (only Comm::world touches it).
+  std::shared_ptr<const void> world_group_;
 };
 
 // Runs an SPMD job: spawns `nprocs` rank coroutines (each receiving its own

@@ -17,21 +17,60 @@ PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
   max_blocks_ = capacity_ / block_;
 }
 
+void PageCache::unlink(std::uint32_t i) {
+  Entry& e = slab_[i];
+  if (e.prev != kNil) {
+    slab_[e.prev].next = e.next;
+  } else {
+    head_ = e.next;
+  }
+  if (e.next != kNil) {
+    slab_[e.next].prev = e.prev;
+  } else {
+    tail_ = e.prev;
+  }
+}
+
+void PageCache::push_front(std::uint32_t i) {
+  Entry& e = slab_[i];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) slab_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+void PageCache::release(std::uint32_t i) {
+  unlink(i);
+  free_.push_back(i);
+}
+
 void PageCache::touch(std::uint64_t object, std::uint64_t block) {
   const Key key{object, block};
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (const std::uint32_t* found = map_.find(key)) {
+    if (head_ != *found) {
+      unlink(*found);
+      push_front(*found);
+    }
     return;
   }
   if (max_blocks_ == 0) return;
   while (map_.size() >= max_blocks_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+    map_.erase(slab_[tail_].key);
+    release(tail_);
     ++stats_.evictions;
   }
-  lru_.push_front(key);
-  map_[key] = lru_.begin();
+  std::uint32_t i;
+  if (!free_.empty()) {
+    i = free_.back();
+    free_.pop_back();
+  } else {
+    i = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[i].key = key;
+  push_front(i);
+  map_[key] = i;
 }
 
 void PageCache::fill(std::uint64_t object, std::uint64_t offset, std::uint64_t len) {
@@ -48,13 +87,16 @@ std::uint64_t PageCache::lookup(std::uint64_t object, std::uint64_t offset, std:
   const std::uint64_t first = offset / block_;
   const std::uint64_t last = (offset + len - 1) / block_;
   for (std::uint64_t b = first; b <= last; ++b) {
-    const auto it = map_.find(Key{object, b});
+    const std::uint32_t* found = map_.find(Key{object, b});
     const std::uint64_t block_start = b * block_;
     const std::uint64_t lo = std::max(offset, block_start);
     const std::uint64_t hi = std::min(offset + len, block_start + block_);
-    if (it != map_.end()) {
+    if (found != nullptr) {
       hit += hi - lo;
-      lru_.splice(lru_.begin(), lru_, it->second);
+      if (head_ != *found) {
+        unlink(*found);
+        push_front(*found);
+      }
       stats_.hit_bytes += hi - lo;
     } else {
       stats_.miss_bytes += hi - lo;
@@ -71,19 +113,22 @@ std::uint64_t PageCache::lookup(std::uint64_t object, std::uint64_t offset, std:
 }
 
 void PageCache::invalidate_object(std::uint64_t object) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->object == object) {
-      map_.erase(*it);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (std::uint32_t i = head_; i != kNil;) {
+    const std::uint32_t next = slab_[i].next;
+    if (slab_[i].key.object == object) {
+      map_.erase(slab_[i].key);
+      release(i);
     }
+    i = next;
   }
 }
 
 void PageCache::clear() {
-  lru_.clear();
   map_.clear();
+  slab_.clear();
+  free_.clear();
+  head_ = kNil;
+  tail_ = kNil;
 }
 
 }  // namespace tio::net

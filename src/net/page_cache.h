@@ -2,12 +2,17 @@
 //
 // Only residency is tracked, never content — content always comes from the
 // file system's extent maps, so a cache hit changes timing, not data.
+//
+// The LRU chain is intrusive: entries live in a pooled slab and link to
+// each other by 32-bit index, so fills and touches never allocate once the
+// cache has reached working-set size (a std::list would pay a node
+// allocation per filled block — one per simulated 256 KiB of I/O).
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.h"
 
 namespace tio::net {
 
@@ -54,13 +59,26 @@ class PageCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const;
   };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  struct Entry {
+    Key key;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
   void touch(std::uint64_t object, std::uint64_t block);
+  void unlink(std::uint32_t i);
+  void push_front(std::uint32_t i);
+  void release(std::uint32_t i);  // unlink + return the slot to the free list
 
   std::uint64_t capacity_;
   std::uint64_t block_;
   std::uint64_t max_blocks_;
-  std::list<Key> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+  std::vector<Entry> slab_;           // entry pool; holes tracked in free_
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;         // most recently used
+  std::uint32_t tail_ = kNil;         // least recently used
+  FlatMap<Key, std::uint32_t, KeyHash> map_;
   Stats stats_;
 };
 

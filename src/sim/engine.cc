@@ -1,13 +1,19 @@
 #include "sim/engine.h"
 
+#include <chrono>
+#include <limits>
 #include <stdexcept>
+
+#include "common/stats.h"
+#include "sim/frame_pool.h"
 
 namespace tio::sim {
 namespace {
 
 // Self-destroying driver coroutine that owns a detached process's Task.
+// Its frame comes from the same recycling pool as Task frames.
 struct Driver {
-  struct promise_type {
+  struct promise_type : PooledFrame {
     Driver get_return_object() {
       return Driver{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
@@ -37,7 +43,39 @@ Engine::~Engine() = default;
 
 void Engine::at(TimePoint t, MoveFn<void()> fn) {
   if (t < now_) throw std::logic_error("Engine::at: scheduling into the past");
-  queue_.push(Event{t, seq_++, std::move(fn)});
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    ++stats_.pool_hits;
+  } else {
+    if (slab_size_ > kIdxMask) {
+      throw std::length_error("Engine::at: event slab exhausted");
+    }
+    if ((slab_size_ >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<MoveFn<void()>[]>(kChunkSize));
+    }
+    idx = slab_size_++;
+    ++stats_.pool_misses;
+  }
+  slot(idx) = std::move(fn);
+  ++seq_;
+  if (t == now_) {
+    today_.push_back(idx);  // runs after the heap's now_-entries; see engine.h
+  } else {
+    heap_.push(HeapItem{t.to_ns(), (seq_ << kIdxBits) | idx});
+  }
+  const std::size_t pending = heap_.size() + (today_.size() - today_head_);
+  if (pending > stats_.peak_queue) stats_.peak_queue = pending;
+}
+
+void Engine::after(Duration d, MoveFn<void()> fn) {
+  const std::int64_t delta = d < Duration::zero() ? 0 : d.to_ns();
+  std::int64_t t;
+  if (__builtin_add_overflow(now_.to_ns(), delta, &t)) {
+    t = std::numeric_limits<std::int64_t>::max();  // saturate, don't wrap
+  }
+  at(TimePoint::from_ns(t), std::move(fn));
 }
 
 void Engine::spawn(Task<void> process) {
@@ -47,26 +85,66 @@ void Engine::spawn(Task<void> process) {
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is moved out via const_cast,
-  // which is safe because pop() immediately removes the moved-from node.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
+  std::uint32_t idx;
+  const bool have_today = today_head_ < today_.size();
+  if (have_today && (heap_.empty() || heap_.top().when_ns > now_.to_ns())) {
+    // All heap entries at now_ predate (out-sequence) anything in the FIFO,
+    // so the FIFO only runs once the heap has moved past the current time.
+    idx = today_[today_head_++];
+    if (today_head_ == today_.size()) {
+      today_.clear();
+      today_head_ = 0;
+    }
+  } else {
+    if (heap_.empty()) return false;
+    // Start pulling the winning callable's cache line while the sift-down
+    // in pop_top is still running; the slot is a random access into the slab.
+    __builtin_prefetch(&slot(static_cast<std::uint32_t>(heap_.top().key & kIdxMask)));
+    HeapItem item;
+    heap_.pop_top(item);
+    idx = static_cast<std::uint32_t>(item.key & kIdxMask);
+    now_ = TimePoint::from_ns(item.when_ns);
+  }
   ++events_processed_;
-  if (ev.fn) ev.fn();
+  // Move the callable out and release the slot before running: the callback
+  // may schedule new events, and the freed slot lets it reuse this one.
+  MoveFn<void()> fn = std::move(slot(idx));
+  free_.push_back(idx);
+  if (fn) fn();
   return true;
 }
 
 std::uint64_t Engine::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t start = events_processed_;
   while (step()) {
   }
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  counter("sim.engine.run_wall_ns").add(static_cast<std::uint64_t>(wall_ns));
+  publish_counters();
   if (process_error_) {
     auto err = std::exchange(process_error_, nullptr);
     std::rethrow_exception(err);
   }
   return events_processed_ - start;
+}
+
+void Engine::publish_counters() {
+  const auto flush = [](const char* name, std::uint64_t total, std::uint64_t& published) {
+    if (total > published) {
+      counter(name).add(total - published);
+      published = total;
+    }
+  };
+  flush("sim.engine.events", events_processed_, published_events_);
+  flush("sim.engine.event_pool_hits", stats_.pool_hits, published_.pool_hits);
+  flush("sim.engine.event_pool_misses", stats_.pool_misses, published_.pool_misses);
+  // Peak pending events across every engine in the process (max, not sum).
+  Counter& peak = counter("sim.engine.queue_peak");
+  if (stats_.peak_queue > peak.value()) peak.add(stats_.peak_queue - peak.value());
+  FramePool::publish_counters();
 }
 
 }  // namespace tio::sim

@@ -58,12 +58,11 @@ void FairShareChannel::schedule_next_completion() {
 void FairShareChannel::on_completion_event(std::uint64_t generation) {
   if (generation != generation_) return;  // superseded by membership change
   advance_progress();
-  std::vector<std::coroutine_handle<>> finished;
+  // Resumption is deferred through the engine queue, so finished flows can
+  // be handed off straight out of the heap — no scratch vector per event.
   while (!active_.empty() && active_.top().finish_progress <= progress_ + kSlackBytes) {
-    finished.push_back(active_.top().handle);
+    const auto h = active_.top().handle;
     active_.pop();
-  }
-  for (auto h : finished) {
     engine_.after(Duration::zero(), [h] { h.resume(); });
   }
   schedule_next_completion();

@@ -12,10 +12,9 @@
 
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <string>
-#include <vector>
 
+#include "common/dheap.h"
 #include "sim/engine.h"
 
 namespace tio::sim {
@@ -57,9 +56,12 @@ class FairShareChannel {
     double finish_progress;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
-    bool operator>(const Flow& o) const {
-      if (finish_progress != o.finish_progress) return finish_progress > o.finish_progress;
-      return seq > o.seq;
+  };
+  // Earliest virtual finish first; seq breaks ties deterministically.
+  struct FlowLess {
+    bool operator()(const Flow& a, const Flow& b) const {
+      if (a.finish_progress != b.finish_progress) return a.finish_progress < b.finish_progress;
+      return a.seq < b.seq;
     }
   };
 
@@ -73,7 +75,7 @@ class FairShareChannel {
   double stream_cap_;
   std::string name_;
 
-  std::priority_queue<Flow, std::vector<Flow>, std::greater<>> active_;
+  DaryHeap<Flow, FlowLess> active_;
   double progress_ = 0;  // virtual bytes delivered per stream
   TimePoint last_update_;
   std::uint64_t seq_ = 0;

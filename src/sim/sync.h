@@ -3,17 +3,61 @@
 // All wake-ups go through the engine's event queue at the current virtual
 // time, so wake order is deterministic (FIFO per primitive) and consistent
 // with the engine's global event ordering.
+//
+// Waiter bookkeeping is intrusive: each primitive's Awaiter carries the
+// link pointer, and the awaiter object lives inside the suspended
+// coroutine's frame, so parking a process on a mutex, semaphore, barrier,
+// gate, or channel allocates nothing — no vector/deque churn per wait.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
 #include <deque>
+#include <optional>
 #include <stdexcept>
-#include <vector>
 
 #include "sim/engine.h"
 
 namespace tio::sim {
+
+namespace detail {
+
+// Intrusive FIFO of parked awaiters, linked through Node::next. Nodes are
+// owned by suspended coroutine frames; a node stays linked exactly while
+// its coroutine is suspended on the primitive, so no lifetime bookkeeping
+// is needed here.
+template <typename Node>
+class WaiterList {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
+
+  void push_back(Node* n) {
+    n->next = nullptr;
+    if (tail_) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++size_;
+  }
+
+  Node* pop_front() {
+    Node* n = head_;
+    head_ = n->next;
+    if (!head_) tail_ = nullptr;
+    --size_;
+    return n;
+  }
+
+ private:
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
 
 // One-shot broadcast gate. wait() completes immediately once open.
 class Gate {
@@ -22,8 +66,13 @@ class Gate {
 
   struct Awaiter {
     Gate* gate;
+    std::coroutine_handle<> handle = nullptr;
+    Awaiter* next = nullptr;
     bool await_ready() const noexcept { return gate->open_; }
-    void await_suspend(std::coroutine_handle<> h) { gate->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      gate->waiters_.push_back(this);
+    }
     void await_resume() const noexcept {}
   };
   Awaiter wait() { return Awaiter{this}; }
@@ -31,15 +80,17 @@ class Gate {
   void open() {
     if (open_) return;
     open_ = true;
-    for (auto h : waiters_) engine_.after(Duration::zero(), [h] { h.resume(); });
-    waiters_.clear();
+    while (!waiters_.empty()) {
+      const auto h = waiters_.pop_front()->handle;
+      engine_.after(Duration::zero(), [h] { h.resume(); });
+    }
   }
   bool is_open() const { return open_; }
 
  private:
   Engine& engine_;
   bool open_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  detail::WaiterList<Awaiter> waiters_;
 };
 
 // Counting semaphore with FIFO handoff.
@@ -49,6 +100,8 @@ class Semaphore {
 
   struct Awaiter {
     Semaphore* sem;
+    std::coroutine_handle<> handle = nullptr;
+    Awaiter* next = nullptr;
     bool await_ready() const noexcept {
       if (sem->available_ > 0) {
         --sem->available_;
@@ -56,7 +109,10 @@ class Semaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      sem->waiters_.push_back(this);
+    }
     void await_resume() const noexcept {}
   };
   Awaiter acquire() { return Awaiter{this}; }
@@ -64,8 +120,7 @@ class Semaphore {
   void release() {
     if (!waiters_.empty()) {
       // Hand the permit directly to the oldest waiter.
-      const auto h = waiters_.front();
-      waiters_.pop_front();
+      const auto h = waiters_.pop_front()->handle;
       engine_.after(Duration::zero(), [h] { h.resume(); });
       return;
     }
@@ -78,7 +133,7 @@ class Semaphore {
  private:
   Engine& engine_;
   std::size_t available_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaiterList<Awaiter> waiters_;
 };
 
 // RAII scope for a semaphore permit: co_await sem.acquire(); SemGuard g(sem);
@@ -117,21 +172,24 @@ class Barrier {
 
   struct Awaiter {
     Barrier* barrier;
+    std::coroutine_handle<> handle = nullptr;
+    Awaiter* next = nullptr;
     bool await_ready() const noexcept {
       if (barrier->arrived_ + 1 == barrier->parties_) {
         // Last arriver: trip the barrier and continue without suspending.
         barrier->arrived_ = 0;
-        for (auto h : barrier->waiters_) {
+        while (!barrier->waiters_.empty()) {
+          const auto h = barrier->waiters_.pop_front()->handle;
           barrier->engine_.after(Duration::zero(), [h] { h.resume(); });
         }
-        barrier->waiters_.clear();
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
       ++barrier->arrived_;
-      barrier->waiters_.push_back(h);
+      handle = h;
+      barrier->waiters_.push_back(this);
     }
     void await_resume() const noexcept {}
   };
@@ -143,7 +201,7 @@ class Barrier {
   Engine& engine_;
   std::size_t parties_;
   std::size_t arrived_ = 0;
-  std::vector<std::coroutine_handle<>> waiters_;
+  detail::WaiterList<Awaiter> waiters_;
 };
 
 // Join-counter for forked subtasks: add() before spawning, done() at the end
@@ -168,6 +226,8 @@ class WaitGroup {
 };
 
 // Unbounded FIFO channel: the building block for simulated message passing.
+// Items are buffered in a deque (they must live somewhere while no reader
+// is present); parked readers use the intrusive list like everything else.
 template <typename T>
 class Queue {
  public:
@@ -176,6 +236,8 @@ class Queue {
   struct PopAwaiter {
     Queue* queue;
     std::optional<T> value;
+    std::coroutine_handle<> handle = nullptr;
+    PopAwaiter* next = nullptr;
     bool await_ready() {
       if (!queue->items_.empty()) {
         value.emplace(std::move(queue->items_.front()));
@@ -185,7 +247,8 @@ class Queue {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      queue->poppers_.push_back(Popper{this, h});
+      handle = h;
+      queue->poppers_.push_back(this);
     }
     T await_resume() { return std::move(*value); }
   };
@@ -193,10 +256,9 @@ class Queue {
 
   void push(T item) {
     if (!poppers_.empty()) {
-      Popper p = poppers_.front();
-      poppers_.pop_front();
-      p.awaiter->value.emplace(std::move(item));
-      const auto h = p.handle;
+      PopAwaiter* p = poppers_.pop_front();
+      p->value.emplace(std::move(item));
+      const auto h = p->handle;
       engine_.after(Duration::zero(), [h] { h.resume(); });
       return;
     }
@@ -209,13 +271,9 @@ class Queue {
   bool idle() const { return items_.empty() && poppers_.empty(); }
 
  private:
-  struct Popper {
-    PopAwaiter* awaiter;
-    std::coroutine_handle<> handle;
-  };
   Engine& engine_;
   std::deque<T> items_;
-  std::deque<Popper> poppers_;
+  detail::WaiterList<PopAwaiter> poppers_;
 };
 
 }  // namespace tio::sim

@@ -14,6 +14,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.h"
+
 namespace tio::sim {
 
 template <typename T>
@@ -31,7 +33,10 @@ struct promise_final_awaiter {
   void await_resume() const noexcept {}
 };
 
-struct promise_base {
+// Deriving from PooledFrame routes every Task frame through the size-class
+// recycling allocator (promise-scope operator new/delete cover the whole
+// coroutine frame, not just the promise).
+struct promise_base : PooledFrame {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr exception;
 

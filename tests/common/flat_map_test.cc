@@ -1,0 +1,128 @@
+// FlatMap backs the hottest lookup structures in the simulator (MPI
+// mailboxes, page-cache residency), both of which churn insert/erase per
+// message or per page. The tests stress exactly that: tombstone reuse,
+// rehash under churn, and value-releasing erase.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/flat_map.h"
+#include "common/rng.h"
+
+namespace tio {
+namespace {
+
+struct U64Hash {
+  std::size_t operator()(std::uint64_t v) const {
+    return static_cast<std::size_t>(splitmix64(v));
+  }
+};
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint64_t, int, U64Hash> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+
+  map[7] = 70;
+  map[8] = 80;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 70);
+  EXPECT_EQ(*map.find(8), 80);
+
+  map[7] = 71;  // overwrite through operator[]
+  EXPECT_EQ(*map.find(7), 71);
+  EXPECT_EQ(map.size(), 2u);
+
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(8), 80);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, OperatorIndexValueInitializes) {
+  FlatMap<std::uint64_t, int, U64Hash> map;
+  EXPECT_EQ(map[42], 0);
+  ++map[42];
+  EXPECT_EQ(map[42], 1);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, MailboxShapedChurnStaysCorrectAndCompact) {
+  // One insert + one erase per "message", fresh key every time — the exact
+  // lifetime pattern of collective-operation mailboxes. A tombstone bug or
+  // probe-chain break shows up here as a lost or phantom entry.
+  FlatMap<std::uint64_t, int, U64Hash> map;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    map[i] = static_cast<int>(i);
+    ASSERT_NE(map.find(i), nullptr);
+    EXPECT_EQ(*map.find(i), static_cast<int>(i));
+    EXPECT_TRUE(map.erase(i));
+  }
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomOps) {
+  FlatMap<std::uint64_t, std::uint64_t, U64Hash> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.below(512);  // small space → heavy reuse
+    switch (rng.below(3)) {
+      case 0:
+        map[key] = i;
+        ref[key] = i;
+        break;
+      case 1:
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        const auto* found = map.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) EXPECT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+}
+
+TEST(FlatMap, EraseReleasesHeldValues) {
+  struct PtrHash {
+    std::size_t operator()(int k) const {
+      return static_cast<std::size_t>(splitmix64(static_cast<std::uint64_t>(k)));
+    }
+  };
+  FlatMap<int, std::shared_ptr<int>, PtrHash> map;
+  auto value = std::make_shared<int>(5);
+  map[1] = value;
+  EXPECT_EQ(value.use_count(), 2);
+  map.erase(1);  // must drop the shared_ptr now, not at rehash/destruction
+  EXPECT_EQ(value.use_count(), 1);
+}
+
+TEST(FlatMap, ClearKeepsWorking) {
+  FlatMap<std::uint64_t, int, U64Hash> map;
+  for (std::uint64_t i = 0; i < 100; ++i) map[i] = 1;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(3), nullptr);
+  map[3] = 33;
+  EXPECT_EQ(*map.find(3), 33);
+}
+
+TEST(FlatMap, ReserveAvoidsRehashButStaysCorrect) {
+  FlatMap<std::uint64_t, int, U64Hash> map;
+  map.reserve(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) map[i] = static_cast<int>(i);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(map.find(i), nullptr);
+    EXPECT_EQ(*map.find(i), static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace tio
