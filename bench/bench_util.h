@@ -67,6 +67,41 @@ inline plfs::IndexBackend index_backend_or_die(const std::string& name) {
   return backend;
 }
 
+// Shared --fault_plan flag (see pfs/faulty_fs.h for the grammar; "none",
+// "transient1", "stress", or key=value pairs).
+inline std::string* add_fault_plan_flag(FlagSet& flags) {
+  return flags.add_string("fault_plan", "none",
+                          "fault plan: none|transient1|stress|key=value,...");
+}
+
+// Flag-value -> FaultPlan; exits with a usage message on bad input.
+inline pfs::FaultPlan fault_plan_or_die(const std::string& spec) {
+  auto plan = pfs::FaultPlan::parse(spec);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bad --fault_plan: %s\n", plan.status().message().c_str());
+    std::exit(1);
+  }
+  return std::move(plan.value());
+}
+
+// Fault/retry/degradation instrumentation accumulated during the run.
+// stderr on purpose: stdout must stay byte-identical across runs whether or
+// not a plan is active (the determinism check diffs it).
+inline void print_fault_counters() {
+  auto counters = counter_snapshot("plfs.fault");
+  const auto retry = counter_snapshot("plfs.retry");
+  const auto degrade = counter_snapshot("plfs.degrade");
+  const auto direct = counter_snapshot("direct.retry");
+  counters.insert(counters.end(), retry.begin(), retry.end());
+  counters.insert(counters.end(), degrade.begin(), degrade.end());
+  counters.insert(counters.end(), direct.begin(), direct.end());
+  if (counters.empty()) return;
+  std::fprintf(stderr, "\n-- fault/retry counters --\n");
+  for (const auto& [name, value] : counters) {
+    std::fprintf(stderr, "%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+}
+
 // Host-side index/cache instrumentation accumulated during the run.
 inline void print_index_counters() {
   const auto counters = counter_snapshot("plfs.index");

@@ -25,13 +25,14 @@ struct Row {
 };
 
 Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
-                plfs::IndexBackend backend) {
+                plfs::IndexBackend backend, const pfs::FaultPlan& plan) {
   Row row{};
   row.streams = streams;
   const OpGen ops = strided_ops(per_proc, record);
-  auto rig_opts = [backend] {
+  auto rig_opts = [backend, &plan] {
     testbed::Rig::Options o = bench::lanl_rig();
     o.index_backend = backend;
+    o.fault_plan = plan;
     return o;
   };
 
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 16, "MiB per stream (paper: 50 MB)");
   auto* record_kib = flags.add_i64("record-kib", 16, "record size KiB (paper: ~50 KB; 1024 records/stream)");
   auto* backend_name = bench::add_index_backend_flag(flags);
+  auto* plan_spec = bench::add_fault_plan_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
@@ -94,10 +96,11 @@ int main(int argc, char** argv) {
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = static_cast<std::uint64_t>(*record_kib) << 10;
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
+  const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
 
   std::vector<Row> rows;
   for (const int streams : bench::sweep(16, static_cast<int>(*max_streams))) {
-    rows.push_back(run_streams(streams, per_proc, record, backend));
+    rows.push_back(run_streams(streams, per_proc, record, backend, plan));
   }
 
   bench::print_header("Fig. 4a — Read Open Time (s)",
@@ -137,6 +140,7 @@ int main(int argc, char** argv) {
                Table::num(bench::mbps(r.wbw_flat))});
   }
   d.print(std::cout);
+  bench::print_fault_counters();
   bench::print_index_counters();
   bench::print_sim_counters();
   return 0;

@@ -18,10 +18,12 @@ int main(int argc, char** argv) {
   FlagSet flags("fig7_metadata_nn: N-N open/close times vs file count and MDS count");
   auto* procs = flags.add_i64("procs", 128, "processes creating files");
   auto* max_files = flags.add_i64("max-files", 8192, "largest total file count");
+  auto* plan_spec = bench::add_fault_plan_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
   const std::vector<std::size_t> mds_counts = {1, 3, 6, 9};
   const auto file_counts = bench::sweep(1024, static_cast<int>(*max_files));
 
@@ -35,14 +37,18 @@ int main(int argc, char** argv) {
     MetaSpec spec;
     spec.files_per_proc = std::max(1, files / static_cast<int>(*procs));
     for (std::size_t i = 0; i < mds_counts.size(); ++i) {
-      testbed::Rig rig(bench::lanl_rig(mds_counts[i]));
+      testbed::Rig::Options o = bench::lanl_rig(mds_counts[i]);
+      o.fault_plan = plan;
+      testbed::Rig rig(o);
       spec.use_plfs = true;
       const MetaResult r = run_metadata_storm(rig, static_cast<int>(*procs), spec);
       plfs_cells[i].push_back(Cell{r.open_s, r.close_s});
     }
     // Direct N-N on the same hardware as the largest federation — the
     // extra MDS cannot help because every create is in one directory.
-    testbed::Rig rig(bench::lanl_rig(mds_counts.back()));
+    testbed::Rig::Options o = bench::lanl_rig(mds_counts.back());
+    o.fault_plan = plan;
+    testbed::Rig rig(o);
     spec.use_plfs = false;
     const MetaResult r = run_metadata_storm(rig, static_cast<int>(*procs), spec);
     direct_cells.push_back(Cell{r.open_s, r.close_s});
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
                Table::num(plfs_cells[3][f].close, 3), Table::num(direct_cells[f].close, 3)});
   }
   b.print(std::cout);
+  bench::print_fault_counters();
   bench::print_sim_counters();
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   auto* max_meta_procs = flags.add_i64("max-meta-procs", 32768, "largest storm (figs 8b-d)");
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 4, "MiB per process for fig 8a");
   auto* backend_name = bench::add_index_backend_flag(flags);
+  auto* plan_spec = bench::add_fault_plan_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = 256_KiB;
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
+  const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
 
   // --- 8a: read bandwidth ---
   bench::print_header("Fig. 8a — Large-Scale Read Bandwidth (MB/s)",
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
       auto bw = [&](Access access, const OpGen& ops) {
         testbed::Rig::Options opts = bench::cielo_rig(10);
         opts.index_backend = backend;
+        opts.fault_plan = plan;
         testbed::Rig rig(std::move(opts));
         JobSpec spec;
         spec.file = "big";
@@ -64,7 +67,9 @@ int main(int argc, char** argv) {
     for (const int n : storm_procs) {
       std::vector<std::string> row = {std::to_string(n)};
       for (const std::size_t mds : {std::size_t{1}, std::size_t{10}, std::size_t{20}}) {
-        testbed::Rig rig(bench::cielo_rig(mds));
+        testbed::Rig::Options opts = bench::cielo_rig(mds);
+        opts.fault_plan = plan;
+        testbed::Rig rig(std::move(opts));
         MetaSpec spec;
         spec.use_plfs = true;
         row.push_back(Table::num(run_metadata_storm(rig, n, spec).open_s, 2));
@@ -82,7 +87,9 @@ int main(int argc, char** argv) {
     for (const int n : storm_procs) {
       std::vector<std::string> row = {std::to_string(n)};
       for (const std::size_t mds : {std::size_t{1}, std::size_t{10}}) {
-        testbed::Rig rig(bench::cielo_rig(mds));
+        testbed::Rig::Options opts = bench::cielo_rig(mds);
+        opts.fault_plan = plan;
+        testbed::Rig rig(std::move(opts));
         MetaSpec spec;
         spec.use_plfs = true;
         spec.shared_file = true;
@@ -100,10 +107,14 @@ int main(int argc, char** argv) {
     Table t({"procs", "W/O PLFS", "PLFS-10", "speedup"});
     for (const int n : storm_procs) {
       MetaSpec spec;
-      testbed::Rig rig_direct(bench::cielo_rig(10));
+      testbed::Rig::Options opts_direct = bench::cielo_rig(10);
+      opts_direct.fault_plan = plan;
+      testbed::Rig rig_direct(std::move(opts_direct));
       spec.use_plfs = false;
       const double direct = run_metadata_storm(rig_direct, n, spec).open_s;
-      testbed::Rig rig_plfs(bench::cielo_rig(10));
+      testbed::Rig::Options opts_plfs = bench::cielo_rig(10);
+      opts_plfs.fault_plan = plan;
+      testbed::Rig rig_plfs(std::move(opts_plfs));
       spec.use_plfs = true;
       const double plfs = run_metadata_storm(rig_plfs, n, spec).open_s;
       t.add_row({std::to_string(n), Table::num(direct, 2), Table::num(plfs, 2),
@@ -111,6 +122,7 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
   }
+  bench::print_fault_counters();
   bench::print_index_counters();
   bench::print_sim_counters();
   return 0;

@@ -29,4 +29,10 @@ ctest --preset asan -j "$jobs" -R \
   '^(Engine|Determinism|EventPool|FramePool|MoveFn|Mutex|Semaphore|Barrier|Gate|WaitGroup|Queue|FairShare|FcfsServer|Runtime|PageCache|Cluster|Comm)\.' \
   -E 'DeepAwaitChains'
 
+echo "==> chaos suite under ASan/UBSan (fault injection, retry, degradation)"
+ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|RetryBudget|Timeout|Status)\.'
+
+echo "==> fig7 under the stress fault plan must exit clean"
+./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress >/dev/null
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,19 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Used as the integrity trailer on serialized index records: a flattened
+// global index that was torn by a mid-write crash must be detected at read
+// open, not absorbed into wrong reads. Table-driven software implementation;
+// the simulator's index files are small enough that hardware CRC is not
+// worth a platform dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tio {
+
+// CRC of `data[0..len)`, continuing from `seed` (pass 0 to start; chained
+// calls compose: crc32c(b, m, crc32c(a, n)) == crc32c(a+b, n+m)).
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace tio

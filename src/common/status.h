@@ -36,6 +36,14 @@ enum class Errc : std::uint8_t {
 
 std::string_view errc_name(Errc e);
 
+// Transient errors are those a client may reasonably retry: the operation
+// failed because of momentary server/storage state (EBUSY, EIO, ESTALE),
+// not because the request itself is wrong. Everything else is permanent —
+// retrying an ENOENT or EEXIST can only waste the retry budget.
+constexpr bool errc_is_transient(Errc e) {
+  return e == Errc::busy || e == Errc::io_error || e == Errc::stale;
+}
+
 class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
@@ -43,6 +51,8 @@ class [[nodiscard]] Status {
   static Status Ok() { return {}; }
 
   bool ok() const { return code_ == Errc::ok; }
+  // True when the failure is worth retrying (see errc_is_transient).
+  bool is_transient() const { return errc_is_transient(code_); }
   Errc code() const { return code_; }
   const std::string& message() const { return message_; }
   std::string to_string() const;

@@ -58,7 +58,11 @@ std::string ContainerLayout::global_index_path() const {
 }
 
 std::string ContainerLayout::subdir_path(std::size_t k) const {
-  return path_join(container_on(subdir_backend(k)), "subdir." + std::to_string(k));
+  return subdir_path_on(k, subdir_backend(k));
+}
+
+std::string ContainerLayout::subdir_path_on(std::size_t k, std::size_t backend) const {
+  return path_join(container_on(backend), "subdir." + std::to_string(k));
 }
 
 std::string ContainerLayout::data_log_path(int rank) const {
@@ -67,6 +71,20 @@ std::string ContainerLayout::data_log_path(int rank) const {
 
 std::string ContainerLayout::index_log_path(int rank) const {
   return path_join(subdir_path(subdir_of_rank(rank)), "index." + std::to_string(rank));
+}
+
+std::string ContainerLayout::data_log_path_on(int rank, std::size_t backend) const {
+  return path_join(subdir_path_on(subdir_of_rank(rank), backend),
+                   "data." + std::to_string(rank));
+}
+
+std::string ContainerLayout::index_log_path_on(int rank, std::size_t backend) const {
+  return path_join(subdir_path_on(subdir_of_rank(rank), backend),
+                   "index." + std::to_string(rank));
+}
+
+std::string ContainerLayout::stale_marker_path(std::size_t k) const {
+  return path_join(canonical_container(), "stale." + std::to_string(k));
 }
 
 std::string ContainerLayout::openhost_record_path(int rank) const {
@@ -86,6 +104,16 @@ bool parse_index_log_name(std::string_view name, std::uint32_t* writer) {
   const auto [p, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
   if (ec != std::errc{} || p != digits.data() + digits.size()) return false;
   *writer = value;
+  return true;
+}
+
+bool parse_stale_marker_name(std::string_view name, std::size_t* k) {
+  if (!name.starts_with("stale.")) return false;
+  const std::string_view digits = name.substr(6);
+  std::size_t value = 0;
+  const auto [p, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || p != digits.data() + digits.size()) return false;
+  *k = value;
   return true;
 }
 

@@ -43,8 +43,17 @@ class ContainerLayout {
   std::string global_index_path() const;
   // subdir.k on its (hashed) backend.
   std::string subdir_path(std::size_t k) const;
+  // subdir.k placed on an explicit backend — used by MDS failover, which
+  // ring-probes backends (subdir_backend(k) + j) % B when the hashed home
+  // is unreachable.
+  std::string subdir_path_on(std::size_t k, std::size_t backend) const;
   std::string data_log_path(int rank) const;
   std::string index_log_path(int rank) const;
+  std::string data_log_path_on(int rank, std::size_t backend) const;
+  std::string index_log_path_on(int rank, std::size_t backend) const;
+  // Marker in the canonical container recording that subdir.k was placed
+  // off its hashed home by failover; readers seeing it probe the ring.
+  std::string stale_marker_path(std::size_t k) const;
   std::string openhost_record_path(int rank) const;
   std::string meta_dropping_path(int rank, std::uint64_t logical_size) const;
 
@@ -57,6 +66,8 @@ class ContainerLayout {
 
 // True if `name` looks like an index log; extracts the writer id.
 bool parse_index_log_name(std::string_view name, std::uint32_t* writer);
+// True if `name` is a failover marker "stale.K"; extracts the subdir k.
+bool parse_stale_marker_name(std::string_view name, std::size_t* k);
 bool parse_meta_dropping_name(std::string_view name, std::uint32_t* writer,
                               std::uint64_t* logical_size);
 

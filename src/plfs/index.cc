@@ -37,7 +37,16 @@ std::vector<std::byte> serialize_entries(const std::vector<IndexEntry>& entries)
 
 Result<std::vector<IndexEntry>> deserialize_entries(const FragmentList& data) {
   if (data.size() % IndexEntry::kSerializedSize != 0) {
-    return error(Errc::io_error, "index log size is not a multiple of the record size");
+    // A truncated trailing record: report where the partial record starts so
+    // operators can tell a torn append from wholesale corruption.
+    const std::uint64_t partial_at =
+        data.size() - data.size() % IndexEntry::kSerializedSize;
+    return error(Errc::io_error,
+                 "truncated index log: " + std::to_string(data.size()) +
+                     " bytes is not a multiple of the " +
+                     std::to_string(IndexEntry::kSerializedSize) +
+                     "-byte record size; partial record begins at byte offset " +
+                     std::to_string(partial_at));
   }
   const auto bytes = data.to_bytes();
   std::vector<IndexEntry> out(bytes.size() / IndexEntry::kSerializedSize);
@@ -49,14 +58,14 @@ Result<std::vector<IndexEntry>> deserialize_entries(const FragmentList& data) {
     std::memcpy(&out[i].timestamp_ns, p + 24, 8);
     std::memcpy(&out[i].writer, p + 32, 4);
     const IndexEntry& e = out[i];
+    const std::string at = " at record #" + std::to_string(i) + " (byte offset " +
+                           std::to_string(i * IndexEntry::kSerializedSize) + ")";
     if (e.length == 0) {
-      return error(Errc::io_error,
-                   "corrupt index log: zero-length record at #" + std::to_string(i));
+      return error(Errc::io_error, "corrupt index log: zero-length record" + at);
     }
     if (e.logical_offset + e.length < e.logical_offset ||
         e.physical_offset + e.length < e.physical_offset) {
-      return error(Errc::io_error,
-                   "corrupt index log: extent overflow at record #" + std::to_string(i));
+      return error(Errc::io_error, "corrupt index log: extent overflow" + at);
     }
   }
   return out;

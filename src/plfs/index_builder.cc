@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
 
+#include "common/crc32c.h"
 #include "common/stats.h"
 
 namespace tio::plfs {
@@ -97,6 +99,45 @@ IndexPtr IndexBuilder::build() const {
   counter("plfs.index.builds").add(1);
   counter("plfs.index.build_ns").add(static_cast<std::uint64_t>(host_now_ns() - t0));
   return built;
+}
+
+std::vector<std::byte> serialize_entries_with_trailer(const std::vector<IndexEntry>& entries) {
+  std::vector<std::byte> out = serialize_entries(entries);
+  const std::size_t base = out.size();
+  out.resize(base + kIndexTrailerSize);
+  const std::uint64_t count = entries.size();
+  std::memcpy(out.data() + base, &kIndexTrailerMagic, 4);
+  std::memcpy(out.data() + base + 4, &count, 8);
+  const std::uint32_t crc = crc32c(out.data(), base + 12);
+  std::memcpy(out.data() + base + 12, &crc, 4);
+  return out;
+}
+
+Result<std::vector<IndexEntry>> deserialize_trailed_entries(const FragmentList& data) {
+  const auto bad = [&](const std::string& what, std::uint64_t at) {
+    return error(Errc::io_error, "corrupt flattened index: " + what + " at byte offset " +
+                                     std::to_string(at) + " (" + std::to_string(data.size()) +
+                                     "-byte file)");
+  };
+  if (data.size() < kIndexTrailerSize ||
+      (data.size() - kIndexTrailerSize) % IndexEntry::kSerializedSize != 0) {
+    return bad("truncated trailer", data.size() < kIndexTrailerSize ? 0 : data.size() - kIndexTrailerSize);
+  }
+  const auto bytes = data.to_bytes();
+  const std::size_t base = bytes.size() - kIndexTrailerSize;
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&magic, bytes.data() + base, 4);
+  std::memcpy(&count, bytes.data() + base + 4, 8);
+  std::memcpy(&crc, bytes.data() + base + 12, 4);
+  if (magic != kIndexTrailerMagic) return bad("bad trailer magic", base);
+  if (count != base / IndexEntry::kSerializedSize) return bad("record count mismatch", base + 4);
+  const std::uint32_t want = crc32c(bytes.data(), base + 12);
+  if (crc != want) return bad("crc mismatch", base + 12);
+  FragmentList records;
+  records.append(DataView::literal(std::vector<std::byte>(bytes.begin(), bytes.begin() + base)));
+  return deserialize_entries(records);
 }
 
 bool parse_index_backend(std::string_view name, IndexBackend& out) {

@@ -58,6 +58,26 @@ class IndexBuilder {
   std::vector<std::shared_ptr<const std::vector<IndexEntry>>> runs_;
 };
 
+// --- integrity trailer for the flattened global index ---
+//
+// The flattened global index is written once at close and read whole at
+// open, so (unlike the per-writer append-only logs) it can carry a
+// self-describing integrity trailer:
+//
+//   [40-byte records ...][magic u32][count u64][crc32c u32]   (16B trailer)
+//
+// where crc covers records+magic+count. A missing, truncated, or
+// mismatching trailer — a torn close, a partial write, bit rot — is
+// detected at read time with Errc::io_error, letting the read-open path
+// fall back to Parallel Index Read instead of serving wrong data.
+inline constexpr std::uint32_t kIndexTrailerMagic = 0x58444950;  // "PIDX"
+inline constexpr std::size_t kIndexTrailerSize = 16;
+
+std::vector<std::byte> serialize_entries_with_trailer(const std::vector<IndexEntry>& entries);
+// Verifies magic/count/crc, then deserializes the records. Any integrity
+// failure is Errc::io_error with the failing byte offset in the message.
+Result<std::vector<IndexEntry>> deserialize_trailed_entries(const FragmentList& data);
+
 // "--index_backend" flag vocabulary: "btree" | "flat" (case-sensitive).
 // Returns false on unknown names, leaving `out` untouched.
 bool parse_index_backend(std::string_view name, IndexBackend& out);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/units.h"
 
 namespace tio::plfs {
@@ -60,6 +61,13 @@ struct PlfsMount {
   // Byte budget for the per-Plfs shared index cache (parsed index logs and
   // built serial indices). 0 disables caching entirely.
   std::uint64_t index_cache_bytes = 256_MiB;
+
+  // Transient-failure handling for every backend fs op the middleware
+  // issues (see common/retry.h). max_attempts = 1 disables retries.
+  RetryPolicy retry;
+  // Total retries a Plfs instance may spend across all ops before failures
+  // surface immediately (guards against unbounded retry storms).
+  std::uint64_t retry_budget = 1u << 20;
 };
 
 }  // namespace tio::plfs

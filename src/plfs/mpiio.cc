@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/stats.h"
+
 namespace tio::plfs {
 
 namespace {
@@ -14,19 +16,37 @@ std::size_t group_size_for(const PlfsMount& mount, int nprocs) {
   return std::max<std::size_t>(1, g);
 }
 
+// Sentinel broadcast by rank 0 when the flattened index is unusable and
+// every rank must degrade to Parallel Index Read instead.
+constexpr std::uint64_t kFlattenUnusable = ~std::uint64_t{0};
+
+sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
+                                               const std::string& logical);
+
 sim::Task<Result<IndexPtr>> aggregate_flatten(Plfs& plfs, mpi::Comm& comm,
                                               const std::string& logical) {
   const pfs::IoCtx ctx{comm.my_node(), comm.global_rank()};
-  // Root reads the flattened index; everyone receives it by broadcast.
+  // Root reads the flattened index; everyone receives it by broadcast. A
+  // missing, truncated, or corrupt flattened index (integrity trailer
+  // verification failed, or the file never survived its close) is not
+  // fatal: the per-writer index logs are still authoritative, so the
+  // collective degrades to Parallel Index Read.
   IndexPtr index;
   std::uint64_t bytes = 0;
   if (comm.rank() == 0) {
     auto read = co_await plfs.read_global_index(ctx, logical);
-    if (!read.ok()) co_return read.status();
-    index = std::move(read.value());
-    bytes = index->serialized_bytes();
+    if (read.ok()) {
+      index = std::move(read.value());
+      bytes = index->serialized_bytes();
+    } else {
+      counter("plfs.degrade.index_fallback").add(1);
+      bytes = kFlattenUnusable;
+    }
   }
   bytes = co_await comm.bcast(0, bytes, 8);
+  if (bytes == kFlattenUnusable) {
+    co_return co_await aggregate_parallel(plfs, comm, logical);
+  }
   index = co_await comm.bcast(0, std::move(index), bytes);
   co_return index;
 }
@@ -165,7 +185,18 @@ sim::Task<Status> MpiFile::close_write(bool flatten) {
         co_await comm_->engine().sleep(plfs_->mount().index_cpu_per_entry *
                                        static_cast<std::int64_t>(builder.total_entries()));
         const IndexPtr global = builder.build();
-        TIO_CO_RETURN_IF_ERROR(co_await plfs_->write_global_index(ctx(), logical_, *global));
+        const Status wrote = co_await plfs_->write_global_index(ctx(), logical_, *global);
+        if (!wrote.ok()) {
+          // Flatten is an optimization, not the source of truth: the
+          // per-writer logs are already durable, so abandon the flattened
+          // copy (best-effort removal of any partial file — readers that
+          // still find a torn one are caught by the integrity trailer) and
+          // let the close finish clean.
+          counter("plfs.degrade.flatten_abort").add(1);
+          const Status removed = co_await plfs_->backend_fs().unlink(
+              ctx(), plfs_->layout(logical_).global_index_path());
+          (void)removed;
+        }
       }
     }
   }

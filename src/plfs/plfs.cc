@@ -2,27 +2,177 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "common/rng.h"
+#include "common/stats.h"
 #include "common/strutil.h"
+#include "sim/timeout.h"
 
 namespace tio::plfs {
 
 using pfs::OpenFlags;
 
+namespace {
+
+// Jitter stream key for an op on a path: every path retries on its own
+// deterministic schedule, spreading thundering herds.
+std::uint64_t path_op_key(std::string_view s) {
+  std::uint64_t h = 0x7e57a1101dull;
+  for (const char c : s) h = splitmix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+Status status_of(const Status& s) { return s; }
+template <typename T>
+Status status_of(const Result<T>& r) {
+  return r.status();
+}
+
+template <typename T>
+struct task_value;
+template <typename T>
+struct task_value<sim::Task<T>> {
+  using type = T;
+};
+
+}  // namespace
+
 Plfs::Plfs(pfs::FsClient& fs, PlfsMount mount)
-    : fs_(fs), mount_(std::move(mount)), cache_(mount_.index_cache_bytes) {
+    : fs_(fs), mount_(std::move(mount)), cache_(mount_.index_cache_bytes),
+      budget_(mount_.retry_budget) {
   if (mount_.backends.empty()) {
     throw std::invalid_argument("PlfsMount must have at least one backend");
   }
 }
 
+template <typename MakeOp>
+auto Plfs::with_retry(std::uint64_t op_key, MakeOp make_op) -> decltype(make_op()) {
+  using R = typename task_value<decltype(make_op())>::type;
+  const RetryPolicy& policy = mount_.retry;
+  for (int attempt = 0;; ++attempt) {
+    std::optional<R> result;
+    if (policy.op_timeout > Duration::zero()) {
+      result = co_await sim::with_timeout(engine(), policy.op_timeout, make_op());
+      if (!result.has_value()) {
+        counter("plfs.retry.timeouts").add(1);
+        result.emplace(error(Errc::busy, "op timed out (attempt abandoned)"));
+      }
+    } else {
+      result.emplace(co_await make_op());
+    }
+    const Status st = status_of(*result);
+    if (st.ok()) {
+      if (attempt > 0) counter("plfs.retry.success_after_retry").add(1);
+      co_return std::move(*result);
+    }
+    if (!st.is_transient()) co_return std::move(*result);
+    if (attempt + 1 >= policy.max_attempts) {
+      counter("plfs.retry.exhausted").add(1);
+      co_return std::move(*result);
+    }
+    if (!budget_.try_consume()) {
+      counter("plfs.retry.budget_exhausted").add(1);
+      co_return std::move(*result);
+    }
+    const Duration wait = policy.backoff(attempt, op_key);
+    counter("plfs.retry.attempts").add(1);
+    counter("plfs.retry.backoff_ns").add(static_cast<std::uint64_t>(wait.to_ns()));
+    co_await engine().sleep(wait);
+  }
+}
+
+sim::Task<Result<std::uint64_t>> Plfs::write_fully(pfs::IoCtx ctx, pfs::FileId fd,
+                                                   std::uint64_t offset, DataView data,
+                                                   std::uint64_t op_key) {
+  const RetryPolicy& policy = mount_.retry;
+  const std::uint64_t n = data.size();
+  if (n == 0) co_return std::uint64_t{0};
+  std::uint64_t done = 0;
+  bool retried = false;
+  for (int attempt = 0;;) {
+    auto wrote = co_await fs_.write(ctx, fd, offset + done, data.slice(done, n - done));
+    if (wrote.ok()) {
+      done += *wrote;
+      if (done >= n) {
+        if (retried) counter("plfs.retry.success_after_retry").add(1);
+        co_return n;
+      }
+      // A torn write is progress, not failure: resume after the prefix that
+      // landed, and reset the attempt clock so completion is guaranteed for
+      // any finite tear sequence.
+      counter("plfs.retry.short_write_resumed").add(1);
+      attempt = 0;
+      continue;
+    }
+    const Status st = wrote.status();
+    if (!st.is_transient()) co_return st;
+    if (attempt + 1 >= policy.max_attempts) {
+      counter("plfs.retry.exhausted").add(1);
+      co_return st;
+    }
+    if (!budget_.try_consume()) {
+      counter("plfs.retry.budget_exhausted").add(1);
+      co_return st;
+    }
+    const Duration wait = policy.backoff(attempt, op_key);
+    counter("plfs.retry.attempts").add(1);
+    counter("plfs.retry.backoff_ns").add(static_cast<std::uint64_t>(wait.to_ns()));
+    co_await engine().sleep(wait);
+    retried = true;
+    ++attempt;
+  }
+}
+
+sim::Task<Result<pfs::FileId>> Plfs::open_retried(pfs::IoCtx ctx, std::string path,
+                                                  OpenFlags flags) {
+  co_return co_await with_retry(path_op_key(path),
+                                [&] { return fs_.open(ctx, path, flags); });
+}
+
+sim::Task<Status> Plfs::close_retried(pfs::IoCtx ctx, pfs::FileId fd) {
+  co_return co_await with_retry(splitmix64(fd), [&] { return fs_.close(ctx, fd); });
+}
+
+sim::Task<Result<FragmentList>> Plfs::read_retried(pfs::IoCtx ctx, pfs::FileId fd,
+                                                   std::uint64_t offset, std::uint64_t len) {
+  co_return co_await with_retry(splitmix64(fd ^ offset),
+                                [&] { return fs_.read(ctx, fd, offset, len); });
+}
+
+sim::Task<Status> Plfs::mkdir_retried(pfs::IoCtx ctx, std::string path) {
+  co_return co_await with_retry(path_op_key(path) ^ 1,
+                                [&] { return fs_.mkdir(ctx, path); });
+}
+
+sim::Task<Status> Plfs::rmdir_retried(pfs::IoCtx ctx, std::string path) {
+  co_return co_await with_retry(path_op_key(path) ^ 2,
+                                [&] { return fs_.rmdir(ctx, path); });
+}
+
+sim::Task<Status> Plfs::unlink_retried(pfs::IoCtx ctx, std::string path) {
+  co_return co_await with_retry(path_op_key(path) ^ 3,
+                                [&] { return fs_.unlink(ctx, path); });
+}
+
+sim::Task<Result<pfs::StatInfo>> Plfs::stat_retried(pfs::IoCtx ctx, std::string path) {
+  co_return co_await with_retry(path_op_key(path) ^ 4,
+                                [&] { return fs_.stat(ctx, path); });
+}
+
+sim::Task<Result<std::vector<pfs::DirEntry>>> Plfs::readdir_retried(pfs::IoCtx ctx,
+                                                                    std::string path) {
+  co_return co_await with_retry(path_op_key(path) ^ 5,
+                                [&] { return fs_.readdir(ctx, path); });
+}
+
 sim::Task<Status> Plfs::ensure_dir(pfs::IoCtx ctx, std::string dir) {
-  auto st = co_await fs_.stat(ctx, dir);
+  auto st = co_await stat_retried(ctx, dir);
   if (st.ok()) {
     if (!st->is_dir) co_return error(Errc::not_a_directory, dir);
     co_return Status::Ok();
   }
-  Status made = co_await fs_.mkdir(ctx, dir);
+  Status made = co_await mkdir_retried(ctx, dir);
   if (!made.ok() && made.code() != Errc::exists) co_return made;
   co_return Status::Ok();
 }
@@ -41,9 +191,9 @@ sim::Task<Status> Plfs::ensure_container_skeleton(pfs::IoCtx ctx, const Containe
   }
   TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, layout.canonical_container()));
   // The access marker: created once, tolerated when racing.
-  auto access = co_await fs_.open(ctx, layout.access_path(), OpenFlags::wr_create_excl());
+  auto access = co_await open_retried(ctx, layout.access_path(), OpenFlags::wr_create_excl());
   if (access.ok()) {
-    TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, *access));
+    TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *access));
   } else if (access.status().code() != Errc::exists) {
     co_return access.status();
   }
@@ -52,15 +202,10 @@ sim::Task<Status> Plfs::ensure_container_skeleton(pfs::IoCtx ctx, const Containe
   co_return Status::Ok();
 }
 
-sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
-                                                                 std::string logical, int rank) {
-  ContainerLayout lay = layout(logical);
-  cache_.invalidate(path_normalize(logical));  // this container is about to change
-  TIO_CO_RETURN_IF_ERROR(co_await ensure_container_skeleton(ctx, lay));
-
-  // My subdir lives on its hashed backend; ensure the shadow chain there.
-  const std::size_t k = lay.subdir_of_rank(rank);
-  const std::size_t backend = lay.subdir_backend(k);
+sim::Task<Status> Plfs::ensure_subdir_on(pfs::IoCtx ctx, const ContainerLayout& lay,
+                                         std::size_t k, std::size_t backend) {
+  // The shadow chain below this backend's root (the canonical chain was
+  // built by the skeleton).
   if (backend != lay.canonical_backend()) {
     const std::string parent_logical(path_dirname(lay.logical()));
     if (parent_logical != "/") {
@@ -72,18 +217,51 @@ sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
     }
     TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, lay.container_on(backend)));
   }
-  TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, lay.subdir_path(k)));
+  co_return co_await ensure_dir(ctx, lay.subdir_path_on(k, backend));
+}
 
-  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId data_fd,
-                          co_await fs_.open(ctx, lay.data_log_path(rank), OpenFlags::wr_trunc()));
+sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
+                                                                 std::string logical, int rank) {
+  ContainerLayout lay = layout(logical);
+  cache_.invalidate(path_normalize(logical));  // this container is about to change
+  TIO_CO_RETURN_IF_ERROR(co_await ensure_container_skeleton(ctx, lay));
+
+  // My subdir lives on its hashed home backend. If that MDS stays
+  // unreachable through the whole retry schedule, walk the federation ring
+  // (home+1, home+2, ...) and leave a stale.k marker in the canonical
+  // container so readers resolve the same placement.
+  const std::size_t k = lay.subdir_of_rank(rank);
+  const std::size_t home = lay.subdir_backend(k);
+  std::size_t placed = home;
+  Status subdir_st = Status::Ok();
+  for (std::size_t j = 0; j < lay.num_backends(); ++j) {
+    const std::size_t b = (home + j) % lay.num_backends();
+    subdir_st = co_await ensure_subdir_on(ctx, lay, k, b);
+    if (subdir_st.ok()) {
+      placed = b;
+      break;
+    }
+    if (!subdir_st.is_transient()) co_return subdir_st;
+  }
+  TIO_CO_RETURN_IF_ERROR(subdir_st);
+  if (placed != home) {
+    counter("plfs.degrade.mds_failover").add(1);
+    auto marker = co_await open_retried(ctx, lay.stale_marker_path(k), OpenFlags::wr_create());
+    if (!marker.ok()) co_return marker.status();
+    TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *marker));
+  }
+
+  TIO_CO_ASSIGN_OR_RETURN(
+      pfs::FileId data_fd,
+      co_await open_retried(ctx, lay.data_log_path_on(rank, placed), OpenFlags::wr_trunc()));
   TIO_CO_ASSIGN_OR_RETURN(
       pfs::FileId index_fd,
-      co_await fs_.open(ctx, lay.index_log_path(rank), OpenFlags::wr_trunc()));
+      co_await open_retried(ctx, lay.index_log_path_on(rank, placed), OpenFlags::wr_trunc()));
 
   // Record this writer in openhosts/.
-  auto host = co_await fs_.open(ctx, lay.openhost_record_path(rank), OpenFlags::wr_create());
+  auto host = co_await open_retried(ctx, lay.openhost_record_path(rank), OpenFlags::wr_create());
   if (!host.ok()) co_return host.status();
-  TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, *host));
+  TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *host));
 
   co_return std::unique_ptr<WriteHandle>(
       new WriteHandle(*this, ctx, std::move(lay), rank, data_fd, index_fd));
@@ -94,9 +272,9 @@ sim::Task<Status> WriteHandle::write(std::uint64_t logical_offset, DataView data
   if (data.empty()) co_return Status::Ok();
   const std::uint64_t len = data.size();
   // Log-structured: always append, regardless of the logical offset.
-  TIO_CO_ASSIGN_OR_RETURN(
-      std::uint64_t written,
-      co_await plfs_->fs_.write(ctx_, data_fd_, data_offset_, std::move(data)));
+  TIO_CO_ASSIGN_OR_RETURN(std::uint64_t written,
+                          co_await plfs_->write_fully(ctx_, data_fd_, data_offset_,
+                                                      std::move(data), splitmix64(data_fd_)));
   (void)written;
   entries_.push_back(IndexEntry{logical_offset, len, data_offset_,
                                 plfs_->engine().now().to_ns(),
@@ -118,8 +296,9 @@ sim::Task<Status> WriteHandle::flush_index() {
   }
   const std::uint64_t n = buf.size();
   TIO_CO_ASSIGN_OR_RETURN(std::uint64_t written,
-                          co_await plfs_->fs_.write(ctx_, index_fd_, index_offset_,
-                                                    DataView::literal(std::move(buf))));
+                          co_await plfs_->write_fully(ctx_, index_fd_, index_offset_,
+                                                      DataView::literal(std::move(buf)),
+                                                      splitmix64(index_fd_)));
   (void)written;
   index_offset_ += n;
   flushed_ = entries_.size();
@@ -129,16 +308,16 @@ sim::Task<Status> WriteHandle::flush_index() {
 sim::Task<Status> WriteHandle::close() {
   if (closed_) co_return error(Errc::bad_handle, "double close");
   TIO_CO_RETURN_IF_ERROR(co_await flush_index());
-  TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, data_fd_));
-  TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, index_fd_));
+  TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, data_fd_));
+  TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, index_fd_));
   // Size dropping: the logical high water is encoded in the name, so stat
   // never needs index aggregation.
-  auto drop = co_await plfs_->fs_.open(ctx_, layout_.meta_dropping_path(rank_, high_water_),
-                                       OpenFlags::wr_create());
+  auto drop = co_await plfs_->open_retried(ctx_, layout_.meta_dropping_path(rank_, high_water_),
+                                           OpenFlags::wr_create());
   if (!drop.ok()) co_return drop.status();
-  TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, *drop));
+  TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, *drop));
   TIO_CO_RETURN_IF_ERROR(
-      co_await plfs_->fs_.unlink(ctx_, layout_.openhost_record_path(rank_)));
+      co_await plfs_->unlink_retried(ctx_, layout_.openhost_record_path(rank_)));
   closed_ = true;
   co_return Status::Ok();
 }
@@ -150,18 +329,35 @@ sim::Task<Result<std::vector<Plfs::IndexLogRef>>> Plfs::list_index_logs(
   // otherwise reads of unlinked/never-written paths would "succeed" empty.
   TIO_CO_ASSIGN_OR_RETURN(bool container, co_await is_container(ctx, logical));
   if (!container) co_return error(Errc::not_found, logical);
+  // Failover markers: stale.k in the canonical container means subdir.k was
+  // (at least partly) placed off its hashed home by an MDS failover; union
+  // the whole federation ring for those k. Only federated mounts pay the
+  // extra canonical readdir.
+  std::vector<char> stale(lay.num_subdirs(), 0);
+  if (lay.num_backends() > 1) {
+    TIO_CO_ASSIGN_OR_RETURN(std::vector<pfs::DirEntry> canon,
+                            co_await readdir_retried(ctx, lay.canonical_container()));
+    for (const auto& e : canon) {
+      std::size_t k = 0;
+      if (!e.is_dir && parse_stale_marker_name(e.name, &k) && k < stale.size()) stale[k] = 1;
+    }
+  }
   std::vector<IndexLogRef> out;
   for (std::size_t k = 0; k < lay.num_subdirs(); ++k) {
-    const std::string subdir = lay.subdir_path(k);
-    auto entries = co_await fs_.readdir(ctx, subdir);
-    if (!entries.ok()) {
-      if (entries.status().code() == Errc::not_found) continue;  // unused subdir
-      co_return entries.status();
-    }
-    for (const auto& e : *entries) {
-      std::uint32_t writer = 0;
-      if (!e.is_dir && parse_index_log_name(e.name, &writer)) {
-        out.push_back(IndexLogRef{path_join(subdir, e.name), writer});
+    const std::size_t home = lay.subdir_backend(k);
+    const std::size_t probes = stale[k] ? lay.num_backends() : 1;
+    for (std::size_t j = 0; j < probes; ++j) {
+      const std::string subdir = lay.subdir_path_on(k, (home + j) % lay.num_backends());
+      auto entries = co_await readdir_retried(ctx, subdir);
+      if (!entries.ok()) {
+        if (entries.status().code() == Errc::not_found) continue;  // unused subdir
+        co_return entries.status();
+      }
+      for (const auto& e : *entries) {
+        std::uint32_t writer = 0;
+        if (!e.is_dir && parse_index_log_name(e.name, &writer)) {
+          out.push_back(IndexLogRef{path_join(subdir, e.name), writer});
+        }
       }
     }
   }
@@ -174,9 +370,9 @@ sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> Plfs::read_ind
     pfs::IoCtx ctx, std::string logical, std::string path) {
   // Simulated costs are always paid in full; only the parsed host structure
   // is shared across readers, through the container-scoped cache.
-  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await fs_.open(ctx, path, OpenFlags::ro()));
-  auto data = co_await fs_.read(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
-  TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, fd));
+  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await open_retried(ctx, path, OpenFlags::ro()));
+  auto data = co_await read_retried(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
+  TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, fd));
   if (!data.ok()) co_return data.status();
   const std::string container = path_normalize(logical);
   const std::uint64_t gen = cache_.generation(container);
@@ -217,12 +413,30 @@ sim::Task<Result<IndexPtr>> Plfs::build_index_serial(pfs::IoCtx ctx, std::string
 }
 
 sim::Task<Result<IndexPtr>> Plfs::read_global_index(pfs::IoCtx ctx, const std::string& logical) {
+  // The flattened file carries an integrity trailer (see index_builder.h),
+  // so it gets its own read+verify path instead of read_index_log's
+  // raw-records parse. Any integrity failure surfaces as io_error and the
+  // aggregation strategy degrades to Parallel Index Read.
   ContainerLayout lay = layout(logical);
-  TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<IndexEntry>> entries,
-                          co_await read_index_log(ctx, logical, lay.global_index_path()));
+  const std::string container = path_normalize(logical);
+  const std::string path = lay.global_index_path();
+  const std::uint64_t gen = cache_.generation(container);
+  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await open_retried(ctx, path, OpenFlags::ro()));
+  auto data = co_await read_retried(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
+  TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, fd));
+  if (!data.ok()) co_return data.status();
+  co_await engine().sleep(mount_.index_cpu_per_entry *
+                          static_cast<std::int64_t>(data->size() / IndexEntry::kSerializedSize));
+  auto cached = cache_.get_log(container, path);
+  if (cached == nullptr) {
+    auto entries = deserialize_trailed_entries(*data);
+    if (!entries.ok()) co_return entries.status();
+    cached = std::make_shared<const std::vector<IndexEntry>>(std::move(entries.value()));
+    if (cache_.generation(container) == gen) cache_.put_log(container, path, cached);
+  }
   // The flattened file's records are already non-overlapping; one run.
   IndexBuilder builder(mount_.index_backend);
-  builder.add_run(std::move(entries));
+  builder.add_run(std::move(cached));
   co_return builder.build();
 }
 
@@ -230,12 +444,14 @@ sim::Task<Status> Plfs::write_global_index(pfs::IoCtx ctx, const std::string& lo
                                            const IndexView& index) {
   ContainerLayout lay = layout(logical);
   cache_.invalidate(path_normalize(logical));  // cached global-index log is stale
-  TIO_CO_ASSIGN_OR_RETURN(
-      pfs::FileId fd, co_await fs_.open(ctx, lay.global_index_path(), OpenFlags::wr_trunc()));
-  auto bytes = serialize_entries(index.to_entries());
-  auto written = co_await fs_.write(ctx, fd, 0, DataView::literal(std::move(bytes)));
-  TIO_CO_RETURN_IF_ERROR(co_await fs_.close(ctx, fd));
-  co_return written.status();
+  const std::string path = lay.global_index_path();
+  TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await open_retried(ctx, path, OpenFlags::wr_trunc()));
+  auto bytes = serialize_entries_with_trailer(index.to_entries());
+  auto written = co_await write_fully(ctx, fd, 0, DataView::literal(std::move(bytes)),
+                                      path_op_key(path));
+  const Status closed = co_await close_retried(ctx, fd);
+  if (!written.ok()) co_return written.status();
+  co_return closed;
 }
 
 sim::Task<Result<std::unique_ptr<ReadHandle>>> Plfs::open_read(pfs::IoCtx ctx,
@@ -253,12 +469,22 @@ sim::Task<Result<std::unique_ptr<ReadHandle>>> Plfs::open_read(pfs::IoCtx ctx,
 sim::Task<Result<pfs::FileId>> ReadHandle::data_fd(std::uint32_t writer) {
   const auto it = data_fds_.find(writer);
   if (it != data_fds_.end()) co_return it->second;
-  TIO_CO_ASSIGN_OR_RETURN(
-      pfs::FileId fd,
-      co_await plfs_->fs_.open(ctx_, layout_.data_log_path(static_cast<int>(writer)),
-                               OpenFlags::ro()));
-  data_fds_[writer] = fd;
-  co_return fd;
+  // The log normally lives on its hashed home backend; after an MDS
+  // failover it may sit anywhere on the federation ring, so probe
+  // (home + j) % B on not_found.
+  const int rank = static_cast<int>(writer);
+  const std::size_t home = layout_.subdir_backend(layout_.subdir_of_rank(rank));
+  Result<pfs::FileId> fd = error(Errc::not_found, "no backend holds the data log");
+  for (std::size_t j = 0; j < layout_.num_backends(); ++j) {
+    fd = co_await plfs_->open_retried(
+        ctx_, layout_.data_log_path_on(rank, (home + j) % layout_.num_backends()),
+        OpenFlags::ro());
+    if (fd.ok()) break;
+    if (fd.status().code() != Errc::not_found) co_return fd.status();
+  }
+  if (!fd.ok()) co_return fd.status();
+  data_fds_[writer] = *fd;
+  co_return *fd;
 }
 
 sim::Task<Result<FragmentList>> ReadHandle::read(std::uint64_t offset, std::uint64_t len) {
@@ -275,7 +501,7 @@ sim::Task<Result<FragmentList>> ReadHandle::read(std::uint64_t offset, std::uint
       pos = m.logical_offset;
     }
     TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await data_fd(m.writer));
-    auto piece = co_await plfs_->fs_.read(ctx_, fd, m.physical_offset, m.length);
+    auto piece = co_await plfs_->read_retried(ctx_, fd, m.physical_offset, m.length);
     if (!piece.ok()) co_return piece.status();
     if (piece->size() != m.length) {
       co_return error(Errc::io_error, "data log shorter than its index claims");
@@ -290,7 +516,7 @@ sim::Task<Result<FragmentList>> ReadHandle::read(std::uint64_t offset, std::uint
 sim::Task<Status> ReadHandle::close() {
   if (closed_) co_return error(Errc::bad_handle, "double close");
   for (const auto& [writer, fd] : data_fds_) {
-    TIO_CO_RETURN_IF_ERROR(co_await plfs_->fs_.close(ctx_, fd));
+    TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, fd));
   }
   data_fds_.clear();
   closed_ = true;
@@ -299,7 +525,7 @@ sim::Task<Status> ReadHandle::close() {
 
 sim::Task<Result<bool>> Plfs::is_container(pfs::IoCtx ctx, const std::string& logical) {
   ContainerLayout lay = layout(logical);
-  auto st = co_await fs_.stat(ctx, lay.access_path());
+  auto st = co_await stat_retried(ctx, lay.access_path());
   if (st.ok()) co_return true;
   if (st.status().code() == Errc::not_found) co_return false;
   co_return st.status();
@@ -307,7 +533,7 @@ sim::Task<Result<bool>> Plfs::is_container(pfs::IoCtx ctx, const std::string& lo
 
 sim::Task<Result<std::uint64_t>> Plfs::logical_size(pfs::IoCtx ctx, const std::string& logical) {
   ContainerLayout lay = layout(logical);
-  auto entries = co_await fs_.readdir(ctx, lay.meta_dir());
+  auto entries = co_await readdir_retried(ctx, lay.meta_dir());
   if (!entries.ok()) co_return entries.status();
   std::uint64_t size = 0;
   for (const auto& e : *entries) {
@@ -322,7 +548,7 @@ sim::Task<Result<std::vector<pfs::DirEntry>>> Plfs::readdir(pfs::IoCtx ctx,
                                                             std::string logical_dir) {
   std::vector<pfs::DirEntry> out;
   for (const auto& backend : mount_.backends) {
-    auto entries = co_await fs_.readdir(ctx, path_join(backend, logical_dir));
+    auto entries = co_await readdir_retried(ctx, path_join(backend, logical_dir));
     if (!entries.ok()) {
       if (entries.status().code() == Errc::not_found) continue;
       co_return entries.status();
@@ -360,7 +586,7 @@ sim::Task<Status> Plfs::unlink(pfs::IoCtx ctx, const std::string& logical) {
   if (!container) co_return error(Errc::not_found, logical);
   for (std::size_t b = 0; b < mount_.backends.size(); ++b) {
     const std::string root = lay.container_on(b);
-    auto entries = co_await fs_.readdir(ctx, root);
+    auto entries = co_await readdir_retried(ctx, root);
     if (!entries.ok()) {
       if (entries.status().code() == Errc::not_found) continue;
       co_return entries.status();
@@ -368,18 +594,18 @@ sim::Task<Status> Plfs::unlink(pfs::IoCtx ctx, const std::string& logical) {
     for (const auto& e : *entries) {
       const std::string child = path_join(root, e.name);
       if (e.is_dir) {
-        auto inner = co_await fs_.readdir(ctx, child);
+        auto inner = co_await readdir_retried(ctx, child);
         if (inner.ok()) {
           for (const auto& f : *inner) {
-            TIO_CO_RETURN_IF_ERROR(co_await fs_.unlink(ctx, path_join(child, f.name)));
+            TIO_CO_RETURN_IF_ERROR(co_await unlink_retried(ctx, path_join(child, f.name)));
           }
         }
-        TIO_CO_RETURN_IF_ERROR(co_await fs_.rmdir(ctx, child));
+        TIO_CO_RETURN_IF_ERROR(co_await rmdir_retried(ctx, child));
       } else {
-        TIO_CO_RETURN_IF_ERROR(co_await fs_.unlink(ctx, child));
+        TIO_CO_RETURN_IF_ERROR(co_await unlink_retried(ctx, child));
       }
     }
-    TIO_CO_RETURN_IF_ERROR(co_await fs_.rmdir(ctx, root));
+    TIO_CO_RETURN_IF_ERROR(co_await rmdir_retried(ctx, root));
   }
   co_return Status::Ok();
 }

@@ -90,11 +90,44 @@ class Plfs {
   // for tests and bench instrumentation.
   IndexCache& index_cache() { return cache_; }
 
+  // Retries left before transient failures surface immediately (shared by
+  // every op of this instance; see PlfsMount::retry_budget).
+  std::uint64_t retry_budget_remaining() const { return budget_.remaining(); }
+
  private:
   friend class WriteHandle;
   friend class ReadHandle;
 
   sim::Task<Status> ensure_container_skeleton(pfs::IoCtx ctx, const ContainerLayout& layout);
+  // Creates the shadow chain + subdir.k on an explicit backend (the
+  // federation-ring walk of open_write probes these in order).
+  sim::Task<Status> ensure_subdir_on(pfs::IoCtx ctx, const ContainerLayout& lay, std::size_t k,
+                                     std::size_t backend);
+
+  // Runs a freshly-made op per attempt under the mount's RetryPolicy:
+  // transient failures back off with deterministic jitter keyed by op_key
+  // until attempts or the instance-wide budget run out. A nonzero
+  // op_timeout additionally races each attempt against a virtual-time
+  // deadline (the in-flight attempt is abandoned, not cancelled).
+  template <typename MakeOp>
+  auto with_retry(std::uint64_t op_key, MakeOp make_op) -> decltype(make_op());
+  // Writes all of `data`, resuming after transient failures and short
+  // (torn) writes; progress resets the attempt counter.
+  sim::Task<Result<std::uint64_t>> write_fully(pfs::IoCtx ctx, pfs::FileId fd,
+                                               std::uint64_t offset, DataView data,
+                                               std::uint64_t op_key);
+  // Retrying wrappers over the backend primitives.
+  sim::Task<Result<pfs::FileId>> open_retried(pfs::IoCtx ctx, std::string path,
+                                              pfs::OpenFlags flags);
+  sim::Task<Status> close_retried(pfs::IoCtx ctx, pfs::FileId fd);
+  sim::Task<Result<FragmentList>> read_retried(pfs::IoCtx ctx, pfs::FileId fd,
+                                               std::uint64_t offset, std::uint64_t len);
+  sim::Task<Status> mkdir_retried(pfs::IoCtx ctx, std::string path);
+  sim::Task<Status> rmdir_retried(pfs::IoCtx ctx, std::string path);
+  sim::Task<Status> unlink_retried(pfs::IoCtx ctx, std::string path);
+  sim::Task<Result<pfs::StatInfo>> stat_retried(pfs::IoCtx ctx, std::string path);
+  sim::Task<Result<std::vector<pfs::DirEntry>>> readdir_retried(pfs::IoCtx ctx,
+                                                                std::string path);
 
   pfs::FsClient& fs_;
   PlfsMount mount_;
@@ -106,6 +139,7 @@ class Plfs {
   // maps (cleared wholesale on any write anywhere), the cache is
   // byte-budgeted and invalidated per container.
   IndexCache cache_;
+  RetryBudget budget_;
 };
 
 // A single writer's open stream (one per process per logical file).

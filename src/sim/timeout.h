@@ -1,0 +1,54 @@
+// Virtual-time timeout over an awaitable Task.
+//
+// Task has no cancellation (frames of suspended tasks must not be
+// destroyed; simulated processes run to completion). A timeout therefore
+// models what a real client does with a stalled RPC: stop waiting. The
+// operation is detached to run to completion as a background process — its
+// engine events still happen, any server-side effects still occur — while
+// the awaiting coroutine resumes with "timed out" and may retry. This is
+// exactly the at-least-once hazard real retry layers live with, which is
+// why callers only wrap idempotent operations in it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace tio::sim {
+
+// Awaits `op` for at most `d` of virtual time. Returns the op's value, or
+// nullopt on timeout (the op keeps running detached). Callers gate on
+// d > 0 themselves when "zero means no timeout".
+template <typename T>
+Task<std::optional<T>> with_timeout(Engine& engine, Duration d, Task<T> op) {
+  struct State {
+    explicit State(Engine& e) : gate(e) {}
+    Gate gate;
+    std::optional<T> result;
+    bool settled = false;  // first of {completion, timer} wins
+  };
+  auto state = std::make_shared<State>(engine);
+
+  engine.spawn([](std::shared_ptr<State> s, Task<T> t) -> Task<void> {
+    T value = co_await std::move(t);
+    if (!s->settled) {
+      s->settled = true;
+      s->result.emplace(std::move(value));
+    }
+    s->gate.open();
+  }(state, std::move(op)));
+
+  engine.after(d, [state] {
+    if (!state->settled) state->settled = true;
+    state->gate.open();
+  });
+
+  co_await state->gate.wait();
+  co_return std::move(state->result);
+}
+
+}  // namespace tio::sim

@@ -84,7 +84,11 @@ Rig::Rig(Options options)
       options.plfs_backends > 0 ? options.plfs_backends : options.pfs.num_mds;
   mount_ = plfs_mount(backends, options.num_subdirs);
   mount_.index_backend = options.index_backend;
-  plfs_ = std::make_unique<plfs::Plfs>(*pfs_, mount_);
+  mount_.retry = options.retry;
+  if (options.fault_plan.enabled()) {
+    faulty_ = std::make_unique<pfs::FaultyFs>(*pfs_, options.fault_plan);
+  }
+  plfs_ = std::make_unique<plfs::Plfs>(fs(), mount_);
   // Pre-create ("mount") the volume roots plus the direct-access dir.
   for (const auto& b : mount_.backends) {
     if (!pfs_->ns().mkdir_all(b).ok()) throw std::runtime_error("mount failed: " + b);

@@ -18,6 +18,7 @@
 
 #include "net/cluster.h"
 #include "pfs/config.h"
+#include "pfs/faulty_fs.h"
 #include "pfs/sim_pfs.h"
 #include "plfs/mount.h"
 #include "plfs/plfs.h"
@@ -45,6 +46,11 @@ class Rig {
     std::size_t num_subdirs = 32;
     plfs::IndexBackend index_backend = plfs::IndexBackend::flat;
     std::uint64_t seed = 0x7e57bed;
+    // Deterministic fault injection between PLFS and the simulated PFS
+    // (see pfs/faulty_fs.h). Disabled (all-zero plan) by default.
+    pfs::FaultPlan fault_plan = {};
+    // Retry/timeout policy handed to the PLFS mount.
+    RetryPolicy retry = {};
   };
 
   explicit Rig(Options options);
@@ -54,6 +60,9 @@ class Rig {
   pfs::SimPfs& pfs() { return *pfs_; }
   plfs::Plfs& plfs() { return *plfs_; }
   plfs::PlfsMount& mount() { return mount_; }
+  // The FsClient PLFS actually talks to: the SimPfs itself, or the FaultyFs
+  // wrapped around it when a fault plan is active.
+  pfs::FsClient& fs() { return faulty_ ? static_cast<pfs::FsClient&>(*faulty_) : *pfs_; }
   // Path for direct (non-PLFS) access experiments, on volume 0.
   std::string direct_dir() const { return "/vol0/direct"; }
 
@@ -61,6 +70,7 @@ class Rig {
   sim::Engine engine_;
   std::unique_ptr<net::Cluster> cluster_;
   std::unique_ptr<pfs::SimPfs> pfs_;
+  std::unique_ptr<pfs::FaultyFs> faulty_;
   plfs::PlfsMount mount_;
   std::unique_ptr<plfs::Plfs> plfs_;
 };

@@ -1,0 +1,72 @@
+// Transient-fault retry for the direct-access (non-PLFS) comparator legs.
+//
+// Direct targets and the direct metadata storm talk to the backend FsClient
+// below the PLFS retry layer, so when a fault plan wraps the PFS they would
+// otherwise abort on the first injected io_error. They carry their own copy
+// of the mount's retry policy instead: the same deterministic capped
+// backoff, but no budget and no per-op timeout — the direct path models a
+// plain POSIX client re-issuing a failed syscall, not the middleware's
+// bounded recovery. Counters live under direct.retry.* so PLFS-layer retry
+// figures stay uncontaminated.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace tio::workloads {
+
+namespace detail {
+inline Status retry_status_of(const Status& s) { return s; }
+template <typename T>
+Status retry_status_of(const Result<T>& r) {
+  return r.status();
+}
+template <typename T>
+struct retry_task_value;
+template <typename T>
+struct retry_task_value<sim::Task<T>> {
+  using type = T;
+};
+}  // namespace detail
+
+// Stable jitter-stream key for a path-addressed operation.
+inline std::uint64_t direct_op_key(std::string_view path) {
+  std::uint64_t h = 0xd12ec7a11ull;
+  for (const char c : path) h = splitmix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+// Runs make_op(), retrying transient failures with jittered backoff under
+// `policy`. Returns the last result (success, permanent error, or the
+// transient error that exhausted the attempts).
+template <typename MakeOp>
+auto direct_retry(sim::Engine& engine, const RetryPolicy& policy, std::uint64_t op_key,
+                  MakeOp make_op) -> decltype(make_op()) {
+  using R = typename detail::retry_task_value<decltype(make_op())>::type;
+  for (int attempt = 0;; ++attempt) {
+    R result = co_await make_op();
+    const Status st = detail::retry_status_of(result);
+    if (st.ok()) {
+      if (attempt > 0) counter("direct.retry.success_after_retry").add(1);
+      co_return std::move(result);
+    }
+    if (!st.is_transient()) co_return std::move(result);
+    if (attempt + 1 >= policy.max_attempts) {
+      counter("direct.retry.exhausted").add(1);
+      co_return std::move(result);
+    }
+    const Duration wait = policy.backoff(attempt, op_key);
+    counter("direct.retry.attempts").add(1);
+    co_await engine.sleep(wait);
+  }
+}
+
+}  // namespace tio::workloads

@@ -2,9 +2,11 @@
 
 #include <stdexcept>
 
+#include "common/rng.h"
 #include "common/strutil.h"
 #include "mpisim/comm.h"
 #include "plfs/plfs.h"
+#include "workloads/direct_retry.h"
 
 namespace tio::workloads {
 
@@ -47,13 +49,17 @@ MetaResult run_metadata_storm(testbed::Rig& rig, int nprocs, const MetaSpec& spe
       } else if (spec.shared_file) {
         const std::string path = path_join(rig.direct_dir(), spec.dir + "/shared");
         if (comm.rank() == 0 && i == 0) {
-          auto fd = co_await rig.pfs().open(ctx, path, pfs::OpenFlags::wr_trunc());
+          auto fd = co_await direct_retry(
+              engine, rig.mount().retry, direct_op_key(path),
+              [&] { return rig.fs().open(ctx, path, pfs::OpenFlags::wr_trunc()); });
           if (!fd.ok()) fail("direct create", fd.status());
           direct_fds.push_back(*fd);
           co_await comm.barrier();
         } else {
           if (i == 0) co_await comm.barrier();
-          auto fd = co_await rig.pfs().open(ctx, path, pfs::OpenFlags::wr());
+          auto fd = co_await direct_retry(
+              engine, rig.mount().retry, direct_op_key(path),
+              [&] { return rig.fs().open(ctx, path, pfs::OpenFlags::wr()); });
           if (!fd.ok()) fail("direct open", fd.status());
           direct_fds.push_back(*fd);
         }
@@ -61,7 +67,9 @@ MetaResult run_metadata_storm(testbed::Rig& rig, int nprocs, const MetaSpec& spe
         // Direct N-N: every create lands in the single shared directory.
         const std::string path = path_join(
             rig.direct_dir(), str_printf("%s/f%d_%d", spec.dir.c_str(), comm.rank(), i));
-        auto fd = co_await rig.pfs().open(ctx, path, pfs::OpenFlags::wr_trunc());
+        auto fd = co_await direct_retry(
+            engine, rig.mount().retry, direct_op_key(path),
+            [&] { return rig.fs().open(ctx, path, pfs::OpenFlags::wr_trunc()); });
         if (!fd.ok()) fail("direct create", fd.status());
         direct_fds.push_back(*fd);
       }
@@ -74,7 +82,9 @@ MetaResult run_metadata_storm(testbed::Rig& rig, int nprocs, const MetaSpec& spe
       if (!st.ok()) fail("plfs close", st);
     }
     for (const auto fd : direct_fds) {
-      const Status st = co_await rig.pfs().close(ctx, fd);
+      const Status st = co_await direct_retry(
+          engine, rig.mount().retry, splitmix64(fd) ^ 2,
+          [&] { return rig.fs().close(ctx, fd); });
       if (!st.ok()) fail("direct close", st);
     }
     co_await comm.barrier();

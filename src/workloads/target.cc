@@ -1,6 +1,9 @@
 #include "workloads/target.h"
 
+#include "common/rng.h"
+#include "common/stats.h"
 #include "common/strutil.h"
+#include "workloads/direct_retry.h"
 
 namespace tio::workloads {
 
@@ -121,19 +124,43 @@ class PlfsNnTarget final : public JitterBase {
 class DirectTarget final : public JitterBase {
  public:
   DirectTarget(sim::Engine& engine, Duration jitter, std::uint64_t stream, mpi::Comm& comm,
-               pfs::FsClient& fs, pfs::FileId fd, std::uint64_t size)
-      : JitterBase(engine, jitter, stream), comm_(&comm), fs_(&fs), fd_(fd), size_(size) {}
+               pfs::FsClient& fs, const RetryPolicy& policy, pfs::FileId fd, std::uint64_t size)
+      : JitterBase(engine, jitter, stream), engine_(&engine), comm_(&comm), fs_(&fs),
+        policy_(policy), fd_(fd), size_(size) {}
   sim::Task<Status> write(std::uint64_t offset, DataView data) override {
     co_await think();
-    auto n = co_await fs_->write(ctx(), fd_, offset, std::move(data));
-    co_return n.status();
+    // Resume after any torn prefix, and retry transient failures in place:
+    // a plain POSIX writer re-issues the syscall from where it got to.
+    const std::uint64_t n = data.size();
+    const std::uint64_t key = splitmix64(fd_ ^ offset);
+    std::uint64_t done = 0;
+    for (int attempt = 0; done < n;) {
+      auto wrote = co_await fs_->write(ctx(), fd_, offset + done, data.slice(done, n - done));
+      if (wrote.ok()) {
+        done += *wrote;
+        attempt = 0;
+        continue;
+      }
+      if (!wrote.status().is_transient()) co_return wrote.status();
+      if (attempt + 1 >= policy_.max_attempts) {
+        counter("direct.retry.exhausted").add(1);
+        co_return wrote.status();
+      }
+      counter("direct.retry.attempts").add(1);
+      co_await engine_->sleep(policy_.backoff(attempt, key));
+      ++attempt;
+    }
+    co_return Status::Ok();
   }
   sim::Task<Result<FragmentList>> read(std::uint64_t offset, std::uint64_t len) override {
     co_await think();
-    co_return co_await fs_->read(ctx(), fd_, offset, len);
+    co_return co_await direct_retry(
+        *engine_, policy_, splitmix64(fd_ ^ offset) ^ 1,
+        [&] { return fs_->read(ctx(), fd_, offset, len); });
   }
   sim::Task<Status> close() override {
-    TIO_CO_RETURN_IF_ERROR(co_await fs_->close(ctx(), fd_));
+    TIO_CO_RETURN_IF_ERROR(co_await direct_retry(
+        *engine_, policy_, splitmix64(fd_) ^ 2, [&] { return fs_->close(ctx(), fd_); }));
     co_await comm_->barrier();
     co_return Status::Ok();
   }
@@ -141,8 +168,10 @@ class DirectTarget final : public JitterBase {
 
  private:
   pfs::IoCtx ctx() const { return IoCtx{comm_->my_node(), comm_->global_rank()}; }
+  sim::Engine* engine_;
   mpi::Comm* comm_;
   pfs::FsClient* fs_;
+  RetryPolicy policy_;
   pfs::FileId fd_;
   std::uint64_t size_;
 };
@@ -173,30 +202,37 @@ sim::Task<Result<std::unique_ptr<Target>>> TargetFactory::open_write(mpi::Comm& 
                                                std::move(wh.value()), nullptr);
     }
     case Access::direct_n1: {
+      const RetryPolicy& retry = plfs_->mount().retry;
+      const std::string path = direct_path(name, options.access, 0);
       // Rank 0 creates/truncates the shared file; everyone else opens after.
       if (comm.rank() == 0) {
-        auto fd = co_await fs().open(ctx, direct_path(name, options.access, 0),
-                                     OpenFlags::wr_trunc());
+        auto fd = co_await direct_retry(comm.engine(), retry, direct_op_key(path),
+                                        [&] { return fs().open(ctx, path,
+                                                               OpenFlags::wr_trunc()); });
         if (!fd.ok()) co_return fd.status();
         co_await comm.barrier();
         co_return std::make_unique<DirectTarget>(comm.engine(), options.op_jitter, 0, comm,
-                                                 fs(), *fd, 0);
+                                                 fs(), retry, *fd, 0);
       }
       co_await comm.barrier();
-      auto fd = co_await fs().open(ctx, direct_path(name, options.access, 0), OpenFlags::wr());
+      auto fd = co_await direct_retry(comm.engine(), retry, direct_op_key(path),
+                                      [&] { return fs().open(ctx, path, OpenFlags::wr()); });
       if (!fd.ok()) co_return fd.status();
       co_return std::make_unique<DirectTarget>(comm.engine(), options.op_jitter,
                                                static_cast<std::uint64_t>(comm.rank()), comm,
-                                               fs(), *fd, 0);
+                                               fs(), retry, *fd, 0);
     }
     case Access::direct_nn: {
-      auto fd = co_await fs().open(ctx, direct_path(name, options.access, comm.rank()),
-                                   OpenFlags::wr_trunc());
+      const RetryPolicy& retry = plfs_->mount().retry;
+      const std::string path = direct_path(name, options.access, comm.rank());
+      auto fd = co_await direct_retry(comm.engine(), retry, direct_op_key(path),
+                                      [&] { return fs().open(ctx, path,
+                                                             OpenFlags::wr_trunc()); });
       if (!fd.ok()) co_return fd.status();
       co_await comm.barrier();
       co_return std::make_unique<DirectTarget>(comm.engine(), options.op_jitter,
                                                static_cast<std::uint64_t>(comm.rank()), comm,
-                                               fs(), *fd, 0);
+                                               fs(), retry, *fd, 0);
     }
   }
   co_return error(Errc::invalid, "bad access mode");
@@ -227,15 +263,18 @@ sim::Task<Result<std::unique_ptr<Target>>> TargetFactory::open_read(mpi::Comm& c
     }
     case Access::direct_n1:
     case Access::direct_nn: {
+      const RetryPolicy& retry = plfs_->mount().retry;
       const std::string path = direct_path(name, options.access, comm.rank());
-      auto st = co_await fs().stat(ctx, path);
+      auto st = co_await direct_retry(comm.engine(), retry, direct_op_key(path) ^ 4,
+                                      [&] { return fs().stat(ctx, path); });
       if (!st.ok()) co_return st.status();
-      auto fd = co_await fs().open(ctx, path, OpenFlags::ro());
+      auto fd = co_await direct_retry(comm.engine(), retry, direct_op_key(path),
+                                      [&] { return fs().open(ctx, path, OpenFlags::ro()); });
       if (!fd.ok()) co_return fd.status();
       co_await comm.barrier();
       co_return std::make_unique<DirectTarget>(comm.engine(), options.op_jitter,
                                                static_cast<std::uint64_t>(comm.rank()), comm,
-                                               fs(), *fd, st->size);
+                                               fs(), retry, *fd, st->size);
     }
   }
   co_return error(Errc::invalid, "bad access mode");

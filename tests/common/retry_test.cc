@@ -1,0 +1,86 @@
+// RetryPolicy backoff arithmetic: exponential growth, cap, deterministic
+// jitter bounds, and the client-wide RetryBudget.
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tio {
+namespace {
+
+TEST(RetryPolicy, NominalBackoffDoublesUpToCap) {
+  RetryPolicy p;  // 2ms initial, x2, 250ms cap
+  EXPECT_EQ(p.nominal_backoff(0), Duration::ms(2));
+  EXPECT_EQ(p.nominal_backoff(1), Duration::ms(4));
+  EXPECT_EQ(p.nominal_backoff(2), Duration::ms(8));
+  EXPECT_EQ(p.nominal_backoff(6), Duration::ms(128));
+  EXPECT_EQ(p.nominal_backoff(7), Duration::ms(250));  // 256 clipped
+  EXPECT_EQ(p.nominal_backoff(8), Duration::ms(250));
+}
+
+TEST(RetryPolicy, NominalBackoffSaturatesForHugeAttemptCounts) {
+  RetryPolicy p;
+  // Would overflow double exponentiation without the early cap check.
+  EXPECT_EQ(p.nominal_backoff(10000), p.max_backoff);
+}
+
+TEST(RetryPolicy, JitteredBackoffStaysWithinWindow) {
+  RetryPolicy p;
+  for (std::uint64_t key : {0ull, 1ull, 0xdeadbeefull, ~0ull}) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const double nominal = static_cast<double>(p.nominal_backoff(attempt).to_ns());
+      const double actual = static_cast<double>(p.backoff(attempt, key).to_ns());
+      EXPECT_GE(actual, nominal * (1.0 - p.jitter) - 1.0) << key << "/" << attempt;
+      EXPECT_LT(actual, nominal * (1.0 + p.jitter) + 1.0) << key << "/" << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicy, BackoffIsPureFunctionOfSeedKeyAttempt) {
+  RetryPolicy a;
+  RetryPolicy b;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(a.backoff(attempt, 42), b.backoff(attempt, 42)) << attempt;
+  }
+  // Different op keys draw from different jitter streams: at least one of
+  // the first 8 attempts must differ (all-equal would defeat the
+  // thundering-herd spreading).
+  bool differs = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    differs |= a.backoff(attempt, 1) != a.backoff(attempt, 2);
+  }
+  EXPECT_TRUE(differs);
+  // And so do different seeds for the same key.
+  RetryPolicy other;
+  other.seed = a.seed + 1;
+  bool seed_differs = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    seed_differs |= a.backoff(attempt, 42) != other.backoff(attempt, 42);
+  }
+  EXPECT_TRUE(seed_differs);
+}
+
+TEST(RetryPolicy, ZeroJitterReturnsNominal) {
+  RetryPolicy p;
+  p.jitter = 0.0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(p.backoff(attempt, 99), p.nominal_backoff(attempt));
+  }
+}
+
+TEST(RetryBudget, ConsumesToZeroThenRefills) {
+  RetryBudget budget(3);
+  EXPECT_EQ(budget.remaining(), 3u);
+  EXPECT_TRUE(budget.try_consume());
+  EXPECT_TRUE(budget.try_consume());
+  EXPECT_TRUE(budget.try_consume());
+  EXPECT_FALSE(budget.try_consume());
+  EXPECT_EQ(budget.remaining(), 0u);
+  budget.refill(1);
+  EXPECT_TRUE(budget.try_consume());
+  EXPECT_FALSE(budget.try_consume());
+}
+
+}  // namespace
+}  // namespace tio

@@ -1,0 +1,252 @@
+// Chaos suite: the full PLFS stack under seeded fault plans.
+//
+// An N-1 write (torn writes, transient errors, crash-on-close of the
+// flattened index, MDS outages) followed by reads through all three
+// ReadStrategy values must return bytes identical to a fault-free run —
+// the whole point of the retry/degradation machinery. Plans are seeded, so
+// every schedule here is bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "mpisim/comm.h"
+#include "pfs/faulty_fs.h"
+#include "pfs/sim_pfs.h"
+#include "plfs/container.h"
+#include "plfs/mpiio.h"
+#include "plfs/plfs.h"
+#include "testutil.h"
+
+namespace tio::plfs {
+namespace {
+
+constexpr int kProcs = 8;
+constexpr int kRounds = 4;
+constexpr std::uint64_t kRecord = 3000;
+constexpr std::uint64_t kTotal = static_cast<std::uint64_t>(kProcs) * kRounds * kRecord;
+
+PlfsMount chaos_mount() {
+  PlfsMount m;
+  for (std::size_t i = 0; i < 4; ++i) {
+    m.backends.push_back("/vol" + std::to_string(i) + "/plfs");
+  }
+  m.num_subdirs = 8;
+  m.index_flush_every = 8;
+  return m;
+}
+
+struct ChaosWorld {
+  explicit ChaosWorld(const std::string& plan_spec)
+      : cluster(engine, cluster_config()), base(cluster, pfs_config()),
+        faulty(base, parse_plan(plan_spec)), plfs(faulty, chaos_mount()) {
+    for (const auto& b : plfs.mount().backends) {
+      if (!base.ns().mkdir_all(b).ok()) std::abort();
+    }
+  }
+  static pfs::FaultPlan parse_plan(const std::string& spec) {
+    auto plan = pfs::FaultPlan::parse(spec);
+    if (!plan.ok()) std::abort();
+    return std::move(plan.value());
+  }
+  static net::ClusterConfig cluster_config() {
+    net::ClusterConfig c;
+    c.nodes = 16;
+    c.cores_per_node = 4;
+    return c;
+  }
+  static pfs::PfsConfig pfs_config() {
+    pfs::PfsConfig c;
+    c.num_mds = 4;
+    c.num_osts = 8;
+    return c;
+  }
+
+  void sleep_until_ms(std::int64_t ms) {
+    test::run_task(engine, [](sim::Engine& e, std::int64_t target) -> sim::Task<void> {
+      const TimePoint t = TimePoint::from_ns(Duration::ms(target).to_ns());
+      if (t > e.now()) co_await e.sleep(t - e.now());
+    }(engine, ms));
+  }
+
+  sim::Engine engine;
+  net::Cluster cluster;
+  pfs::SimPfs base;
+  pfs::FaultyFs faulty;
+  Plfs plfs;
+};
+
+// Strided N-1 write with Index Flatten requested at close.
+void write_n1(ChaosWorld& w, const std::string& logical) {
+  mpi::run_spmd(w.cluster, kProcs, [&](mpi::Comm comm) -> sim::Task<void> {
+    auto file = co_await MpiFile::open_write(w.plfs, comm, logical);
+    EXPECT_TRUE(file.ok()) << file.status();
+    if (!file.ok()) co_return;
+    for (int r = 0; r < kRounds; ++r) {
+      const std::uint64_t off =
+          (static_cast<std::uint64_t>(r) * comm.size() + comm.rank()) * kRecord;
+      EXPECT_TRUE((co_await (*file)->write(off, DataView::pattern(7, off, kRecord))).ok());
+    }
+    EXPECT_TRUE((co_await (*file)->close_write(/*flatten=*/true)).ok());
+  });
+}
+
+// Collective read of the whole file on every rank; returns rank 0's bytes.
+std::vector<std::byte> read_n1(ChaosWorld& w, const std::string& logical,
+                               ReadStrategy strategy) {
+  std::vector<std::byte> bytes;
+  mpi::run_spmd(w.cluster, kProcs, [&](mpi::Comm comm) -> sim::Task<void> {
+    auto file = co_await MpiFile::open_read(w.plfs, comm, logical, strategy);
+    EXPECT_TRUE(file.ok()) << file.status();
+    if (!file.ok()) co_return;
+    EXPECT_EQ((*file)->logical_size(), kTotal);
+    auto fl = co_await (*file)->read(0, kTotal);
+    EXPECT_TRUE(fl.ok()) << fl.status();
+    if (!fl.ok()) co_return;
+    EXPECT_TRUE(fl->content_equals(DataView::pattern(7, 0, kTotal)))
+        << "strategy " << static_cast<int>(strategy) << " rank " << comm.rank();
+    if (comm.rank() == 0) bytes = fl->to_bytes();
+    EXPECT_TRUE((co_await (*file)->close_read()).ok());
+  });
+  return bytes;
+}
+
+TEST(Chaos, SeededPlansPreserveBytesAcrossAllStrategies) {
+  // Fault-free reference bytes.
+  ChaosWorld clean("none");
+  write_n1(clean, "/chaos");
+  const std::vector<std::byte> expected = read_n1(clean, "/chaos", ReadStrategy::original);
+  ASSERT_EQ(expected.size(), kTotal);
+
+  const char* kPlans[] = {
+      "transient1,seed=101",
+      "io=0.01,busy=0.01,stale=0.005,torn=0.05,crash_close_index=1,seed=202",
+      "stress,seed=303",
+  };
+  for (const char* spec : kPlans) {
+    SCOPED_TRACE(spec);
+    ChaosWorld w(spec);
+    const std::uint64_t faults_before = counter("plfs.fault.ops").value();
+    write_n1(w, "/chaos");
+    // Outage-bearing plans (stress) end their window at 250 ms; read after.
+    w.sleep_until_ms(300);
+    for (const ReadStrategy strategy : {ReadStrategy::original, ReadStrategy::index_flatten,
+                                        ReadStrategy::parallel_read}) {
+      EXPECT_EQ(read_n1(w, "/chaos", strategy), expected);
+    }
+    // The plan actually exercised the stack.
+    EXPECT_GT(counter("plfs.fault.ops").value(), faults_before);
+  }
+}
+
+TEST(Chaos, SameSeedIsBitReproducible) {
+  const std::string spec = "io=0.01,busy=0.01,torn=0.05,crash_close_index=1,seed=777";
+  const char* kCounters[] = {
+      "plfs.fault.ops",       "plfs.fault.io_error",     "plfs.fault.busy",
+      "plfs.fault.torn_writes", "plfs.fault.crash_close",
+      "plfs.retry.attempts",  "plfs.retry.success_after_retry",
+      "plfs.degrade.index_fallback", "plfs.degrade.flatten_abort",
+  };
+  std::vector<std::vector<std::uint64_t>> deltas;
+  std::vector<std::vector<std::byte>> bytes;
+  std::vector<std::int64_t> final_ns;
+  for (int run = 0; run < 2; ++run) {
+    std::vector<std::uint64_t> before;
+    for (const char* name : kCounters) before.push_back(counter(name).value());
+    ChaosWorld w(spec);
+    write_n1(w, "/repro");
+    bytes.push_back(read_n1(w, "/repro", ReadStrategy::index_flatten));
+    final_ns.push_back(w.engine.now().to_ns());
+    std::vector<std::uint64_t> delta;
+    for (std::size_t i = 0; i < std::size(kCounters); ++i) {
+      delta.push_back(counter(kCounters[i]).value() - before[i]);
+    }
+    deltas.push_back(std::move(delta));
+  }
+  // Same fault schedule, same retries, same degradations, same virtual
+  // clock, same bytes: bit-identical runs.
+  EXPECT_EQ(deltas[0], deltas[1]);
+  EXPECT_EQ(final_ns[0], final_ns[1]);
+  EXPECT_EQ(bytes[0], bytes[1]);
+  // And the schedule was not empty.
+  EXPECT_GT(deltas[0][0], 0u);
+}
+
+// Flips two bytes in the middle of `path` through the raw PFS.
+sim::Task<void> flip_bytes_at_8(pfs::SimPfs& fs, std::string path) {
+  const pfs::IoCtx ctx{0, 0};
+  auto fd = co_await fs.open(ctx, path, pfs::OpenFlags::wr());
+  EXPECT_TRUE(fd.ok()) << fd.status();
+  if (!fd.ok()) co_return;
+  std::vector<std::byte> garbage(2, std::byte{0xFF});
+  auto n = co_await fs.write(ctx, *fd, 8, DataView::literal(std::move(garbage)));
+  EXPECT_TRUE(n.ok());
+  EXPECT_TRUE((co_await fs.close(ctx, *fd)).ok());
+}
+
+TEST(Chaos, CorruptFlattenedIndexDegradesToParallelRead) {
+  ChaosWorld w("none");
+  write_n1(w, "/corrupt");
+  // Corrupt the flattened index: the CRC trailer must catch it and the
+  // open must fall back.
+  test::run_task(w.engine,
+                 flip_bytes_at_8(w.base, w.plfs.layout("/corrupt").global_index_path()));
+
+  const std::uint64_t fallbacks_before = counter("plfs.degrade.index_fallback").value();
+  const std::vector<std::byte> got = read_n1(w, "/corrupt", ReadStrategy::index_flatten);
+  EXPECT_EQ(got.size(), kTotal);
+  EXPECT_EQ(counter("plfs.degrade.index_fallback").value(), fallbacks_before + 1);
+}
+
+sim::Task<void> count_stale_markers(pfs::SimPfs& fs, std::string dir, bool& saw) {
+  auto entries = co_await fs.readdir(pfs::IoCtx{0, 0}, dir);
+  EXPECT_TRUE(entries.ok());
+  if (!entries.ok()) co_return;
+  for (const auto& e : *entries) {
+    std::size_t k = 0;
+    if (!e.is_dir && parse_stale_marker_name(e.name, &k)) saw = true;
+  }
+}
+
+TEST(Chaos, MdsOutageFailsOverToFederationRing) {
+  // /vol1 is down for the first 60 virtual seconds — past the whole retry
+  // schedule, so writers whose subdir hashes there must fail over.
+  const PlfsMount m = chaos_mount();
+  std::string logical;
+  for (int i = 0; i < 100 && logical.empty(); ++i) {
+    ContainerLayout lay(m, "/failover" + std::to_string(i));
+    if (lay.canonical_backend() == 1) continue;  // canonical MDS must be up
+    for (int r = 0; r < kProcs; ++r) {
+      if (lay.subdir_backend(lay.subdir_of_rank(r)) == 1) {
+        logical = lay.logical();
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(logical.empty());
+
+  ChaosWorld w("outage=/vol1@0-60000");
+  const std::uint64_t failovers_before = counter("plfs.degrade.mds_failover").value();
+  write_n1(w, logical);
+  EXPECT_GT(counter("plfs.degrade.mds_failover").value(), failovers_before);
+
+  // The canonical container records the displacement.
+  bool saw_marker = false;
+  test::run_task(w.engine,
+                 count_stale_markers(w.base, w.plfs.layout(logical).canonical_container(),
+                                     saw_marker));
+  EXPECT_TRUE(saw_marker);
+
+  // Readers after the outage union the ring via the stale markers and see
+  // every byte, under every strategy.
+  w.sleep_until_ms(61000);
+  for (const ReadStrategy strategy : {ReadStrategy::original, ReadStrategy::index_flatten,
+                                      ReadStrategy::parallel_read}) {
+    const std::vector<std::byte> got = read_n1(w, logical, strategy);
+    EXPECT_EQ(got.size(), kTotal) << static_cast<int>(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace tio::plfs

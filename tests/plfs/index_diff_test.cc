@@ -210,5 +210,70 @@ TEST(IndexDiffStrategies, AllStrategiesAndBackendsExpandIdentically) {
   }
 }
 
+// --- Serialization integrity: error context and the CRC trailer -----------
+
+std::vector<IndexEntry> sample_entries() {
+  return {IndexEntry{0, 100, 0, 1, 0}, IndexEntry{100, 100, 100, 2, 1},
+          IndexEntry{200, 56, 200, 3, 2}};
+}
+
+FragmentList as_fragments(std::vector<std::byte> bytes) {
+  FragmentList fl;
+  fl.append(DataView::literal(std::move(bytes)));
+  return fl;
+}
+
+TEST(IndexSerialization, TruncationErrorNamesTheByteOffset) {
+  auto bytes = serialize_entries(sample_entries());
+  ASSERT_EQ(bytes.size(), 3 * IndexEntry::kSerializedSize);
+  bytes.resize(bytes.size() - 5);  // tear the last record
+  const auto got = deserialize_entries(as_fragments(std::move(bytes)));
+  ASSERT_FALSE(got.ok());
+  // The partial record begins where the second whole record ended.
+  EXPECT_NE(got.status().message().find("partial record begins at byte offset 80"),
+            std::string::npos)
+      << got.status();
+}
+
+TEST(IndexSerialization, TrailerRoundTrips) {
+  const auto entries = sample_entries();
+  auto bytes = serialize_entries_with_trailer(entries);
+  EXPECT_EQ(bytes.size(), entries.size() * IndexEntry::kSerializedSize + kIndexTrailerSize);
+  const auto got = deserialize_trailed_entries(as_fragments(std::move(bytes)));
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*got)[i].logical_offset, entries[i].logical_offset) << i;
+    EXPECT_EQ((*got)[i].length, entries[i].length) << i;
+    EXPECT_EQ((*got)[i].physical_offset, entries[i].physical_offset) << i;
+    EXPECT_EQ((*got)[i].writer, entries[i].writer) << i;
+  }
+}
+
+TEST(IndexSerialization, CrcCatchesFlippedRecordByte) {
+  auto bytes = serialize_entries_with_trailer(sample_entries());
+  bytes[8] ^= std::byte{0xFF};  // inside the first record's length field
+  const auto got = deserialize_trailed_entries(as_fragments(std::move(bytes)));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), Errc::io_error);
+  EXPECT_NE(got.status().message().find("crc mismatch"), std::string::npos) << got.status();
+  // The message carries enough context to locate the damage class.
+  EXPECT_NE(got.status().message().find("byte offset"), std::string::npos);
+}
+
+TEST(IndexSerialization, BadMagicAndTruncatedTrailerAreDistinguished) {
+  auto bytes = serialize_entries_with_trailer(sample_entries());
+  auto mangled = bytes;
+  mangled[mangled.size() - kIndexTrailerSize] ^= std::byte{0x01};
+  const auto bad_magic = deserialize_trailed_entries(as_fragments(std::move(mangled)));
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_NE(bad_magic.status().message().find("bad trailer magic"), std::string::npos);
+
+  bytes.resize(kIndexTrailerSize - 1);  // shorter than any trailer
+  const auto truncated = deserialize_trailed_entries(as_fragments(std::move(bytes)));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated trailer"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tio::plfs

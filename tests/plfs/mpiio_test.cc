@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stats.h"
 #include "localfs/mem_fs.h"
 #include "pfs/sim_pfs.h"
 
@@ -182,11 +183,15 @@ TEST(Flatten, SkippedWhenAnyWriterExceedsThreshold) {
     co_await write_strided(plfs, comm, "/big", 1000, 4, /*flatten=*/true);
   });
   EXPECT_FALSE(w.pfs.ns().exists(plfs.layout("/big").global_index_path()));
-  // Reading with the flatten strategy now fails (no global index)...
+  // Reading with the flatten strategy still works: the missing global index
+  // makes the collective degrade to Parallel Index Read.
+  const std::uint64_t fallbacks_before = counter("plfs.degrade.index_fallback").value();
   mpi::run_spmd(w.cluster, 4, [&plfs](mpi::Comm comm) -> sim::Task<void> {
     auto idx = co_await aggregate_index(plfs, comm, "/big", ReadStrategy::index_flatten);
-    if (comm.rank() == 0) EXPECT_EQ(idx.status().code(), Errc::not_found);
+    EXPECT_TRUE(idx.ok());
+    if (idx.ok()) EXPECT_EQ((*idx)->logical_size(), 4u * 4 * 1000);
   });
+  EXPECT_EQ(counter("plfs.degrade.index_fallback").value(), fallbacks_before + 1);
 }
 
 TEST(Flatten, CloseIsSlowerWithFlattenOpenIsFaster) {

@@ -1,0 +1,72 @@
+// with_timeout: race an op against a virtual-time deadline. The op is never
+// cancelled (Task has no cancellation) — on timeout it keeps running
+// detached, exactly the at-least-once hazard a real retry layer lives with.
+#include "sim/timeout.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tio::sim {
+namespace {
+
+Task<int> slow_value(Engine& engine, Duration d, int v, bool* completed) {
+  co_await engine.sleep(d);
+  if (completed != nullptr) *completed = true;
+  co_return v;
+}
+
+TEST(Timeout, FastOpReturnsItsValue) {
+  Engine engine;
+  std::optional<int> got;
+  TimePoint resumed_at;
+  test::run_task(
+      engine, [](Engine& e, std::optional<int>& out, TimePoint& at) -> Task<void> {
+        out = co_await with_timeout(e, Duration::ms(100),
+                                    slow_value(e, Duration::ms(1), 42, nullptr));
+        at = e.now();  // run_task then drains the pending deadline timer
+      }(engine, got, resumed_at));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  // The waiter resumed at op completion, not at the deadline.
+  EXPECT_EQ(resumed_at.to_ns(), Duration::ms(1).to_ns());
+}
+
+TEST(Timeout, SlowOpTimesOutButStillRunsToCompletion) {
+  Engine engine;
+  bool completed = false;
+  std::optional<int> got;
+  TimePoint resumed_at;
+  test::run_task(
+      engine,
+      [](Engine& e, bool& done, std::optional<int>& out, TimePoint& at) -> Task<void> {
+        out = co_await with_timeout(e, Duration::ms(10),
+                                    slow_value(e, Duration::ms(50), 7, &done));
+        at = e.now();
+        // At the moment the waiter gives up, the detached op has not finished.
+        EXPECT_FALSE(done);
+      }(engine, completed, got, resumed_at));
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(resumed_at.to_ns(), Duration::ms(10).to_ns());
+  // run_task drained the engine: the abandoned op completed in background.
+  EXPECT_TRUE(completed);
+  EXPECT_GE(engine.now().to_ns(), Duration::ms(50).to_ns());
+}
+
+TEST(Timeout, ExactTieGoesToWhicheverSettlesFirst) {
+  // Same-instant completion and deadline: the result is deterministic
+  // (engine event order), and both outcomes leave the system consistent.
+  Engine engine;
+  auto got = test::run_task(
+      engine, [](Engine& e) -> Task<std::optional<int>> {
+        co_return co_await with_timeout(e, Duration::ms(5),
+                                        slow_value(e, Duration::ms(5), 9, nullptr));
+      }(engine));
+  if (got.has_value()) {
+    EXPECT_EQ(*got, 9);
+  }
+  EXPECT_EQ(engine.now().to_ns(), Duration::ms(5).to_ns());
+}
+
+}  // namespace
+}  // namespace tio::sim
