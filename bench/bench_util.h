@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "common/strutil.h"
 #include "common/table.h"
+#include "plfs/pattern.h"
 #include "testbed/testbed.h"
 #include "workloads/harness.h"
 #include "workloads/kernels.h"
@@ -52,19 +53,34 @@ inline std::vector<int> sweep(int from, int max) {
   return out;
 }
 
-// Shared --index_backend flag (btree|flat) for the figure harnesses.
+// Shared --index_backend flag (btree|flat|pattern) for the figure harnesses.
 inline std::string* add_index_backend_flag(FlagSet& flags) {
-  return flags.add_string("index_backend", "flat", "global index backend: btree|flat");
+  return flags.add_string("index_backend", "flat", "global index backend: btree|flat|pattern");
 }
 
 // Flag-value -> IndexBackend; exits with a usage message on bad input.
 inline plfs::IndexBackend index_backend_or_die(const std::string& name) {
   plfs::IndexBackend backend = plfs::IndexBackend::flat;
   if (!plfs::parse_index_backend(name, backend)) {
-    std::fprintf(stderr, "unknown --index_backend (want btree|flat): %s\n", name.c_str());
+    std::fprintf(stderr, "unknown --index_backend (want btree|flat|pattern): %s\n", name.c_str());
     std::exit(1);
   }
   return backend;
+}
+
+// Shared --index_wire flag (v1|v2) selecting the index wire codec.
+inline std::string* add_index_wire_flag(FlagSet& flags) {
+  return flags.add_string("index_wire", "v2", "index wire format: v1|v2 (pattern-compressed)");
+}
+
+// Flag-value -> WireFormat; exits with a usage message on bad input.
+inline plfs::WireFormat index_wire_or_die(const std::string& name) {
+  plfs::WireFormat wire = plfs::WireFormat::v2;
+  if (!plfs::parse_wire_format(name, wire)) {
+    std::fprintf(stderr, "unknown --index_wire (want v1|v2): %s\n", name.c_str());
+    std::exit(1);
+  }
+  return wire;
 }
 
 // Shared --fault_plan flag (see pfs/faulty_fs.h for the grammar; "none",
@@ -109,8 +125,43 @@ inline void print_index_counters() {
   // stderr on purpose: build_ns is host wall time, and stdout must stay
   // byte-identical across runs (the determinism check diffs it).
   std::fprintf(stderr, "\n-- index counters (host-side) --\n");
+  std::uint64_t raw = 0, wire = 0;
   for (const auto& [name, value] : counters) {
+    if (name == "plfs.index.pattern.raw_bytes") raw = value;
+    if (name == "plfs.index.pattern.wire_bytes") wire = value;
     std::fprintf(stderr, "%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+  if (raw > 0 && wire > 0) {
+    std::fprintf(stderr, "%-36s %.1fx\n", "plfs.index.pattern.compression",
+                 static_cast<double>(raw) / static_cast<double>(wire));
+  }
+}
+
+// Emits the accumulated counter state as one JSON object member named
+// "counters" (no trailing comma), for the figure harnesses' --json output.
+// Includes the derived pattern-compression ratio when the codec ran.
+inline void json_counters(std::FILE* f) {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  for (const char* prefix : {"plfs.index", "plfs.fault", "plfs.retry", "plfs.degrade"}) {
+    const auto group = counter_snapshot(prefix);
+    counters.insert(counters.end(), group.begin(), group.end());
+  }
+  std::fprintf(f, "  \"counters\": {");
+  std::uint64_t raw = 0, wire = 0;
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (name == "plfs.index.pattern.raw_bytes") raw = value;
+    if (name == "plfs.index.pattern.wire_bytes") wire = value;
+    std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                 static_cast<unsigned long long>(value));
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+  if (raw > 0 && wire > 0) {
+    std::fprintf(f, "  \"index_compression_ratio\": %.2f,\n",
+                 static_cast<double>(raw) / static_cast<double>(wire));
+  } else {
+    std::fprintf(f, "  \"index_compression_ratio\": null,\n");
   }
 }
 

@@ -22,29 +22,41 @@ struct Row {
   double bw_orig, bw_flat, bw_par;
   double close_noflat, close_flat;
   double wbw_noflat, wbw_flat;
+  // Index bytes pulled off the PFS during each strategy's open (per-writer
+  // logs plus the flattened global index), from the plfs.index.* counters.
+  std::uint64_t ibytes_orig, ibytes_flat, ibytes_par;
 };
 
+// Index bytes read from storage so far (log + flattened-global files).
+std::uint64_t index_bytes_read() {
+  return counter("plfs.index.log_bytes_read").value() +
+         counter("plfs.index.global_bytes_read").value();
+}
+
 Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
-                plfs::IndexBackend backend, const pfs::FaultPlan& plan) {
+                plfs::IndexBackend backend, plfs::WireFormat wire, const pfs::FaultPlan& plan) {
   Row row{};
   row.streams = streams;
   const OpGen ops = strided_ops(per_proc, record);
-  auto rig_opts = [backend, &plan] {
+  auto rig_opts = [backend, wire, &plan] {
     testbed::Rig::Options o = bench::lanl_rig();
     o.index_backend = backend;
+    o.index_wire = wire;
     o.fault_plan = plan;
     return o;
   };
 
   auto read_with = [&](testbed::Rig& rig, const char* file, plfs::ReadStrategy strategy,
-                       double* open_s, double* bw) {
+                       double* open_s, double* bw, std::uint64_t* ibytes) {
     JobSpec spec;
     spec.file = file;
     spec.ops = ops;
     spec.target.access = Access::plfs_n1;
     spec.target.strategy = strategy;
     spec.do_write = false;
+    const std::uint64_t before = index_bytes_read();
     const PhaseTimes read = run_job(rig, streams, spec).read;
+    *ibytes = index_bytes_read() - before;
     *open_s = read.open_s;
     *bw = read.effective_bw();
   };
@@ -61,8 +73,10 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
     const PhaseTimes wr = run_job(rig, streams, w).write;
     row.close_noflat = wr.close_s;
     row.wbw_noflat = wr.effective_bw();
-    read_with(rig, "noflat", plfs::ReadStrategy::original, &row.open_orig, &row.bw_orig);
-    read_with(rig, "noflat", plfs::ReadStrategy::parallel_read, &row.open_par, &row.bw_par);
+    read_with(rig, "noflat", plfs::ReadStrategy::original, &row.open_orig, &row.bw_orig,
+              &row.ibytes_orig);
+    read_with(rig, "noflat", plfs::ReadStrategy::parallel_read, &row.open_par, &row.bw_par,
+              &row.ibytes_par);
   }
   {
     testbed::Rig rig(rig_opts());
@@ -75,7 +89,8 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
     const PhaseTimes wr = run_job(rig, streams, w).write;
     row.close_flat = wr.close_s;
     row.wbw_flat = wr.effective_bw();
-    read_with(rig, "flat", plfs::ReadStrategy::index_flatten, &row.open_flat, &row.bw_flat);
+    read_with(rig, "flat", plfs::ReadStrategy::index_flatten, &row.open_flat, &row.bw_flat,
+              &row.ibytes_flat);
   }
   return row;
 }
@@ -88,7 +103,9 @@ int main(int argc, char** argv) {
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 16, "MiB per stream (paper: 50 MB)");
   auto* record_kib = flags.add_i64("record-kib", 16, "record size KiB (paper: ~50 KB; 1024 records/stream)");
   auto* backend_name = bench::add_index_backend_flag(flags);
+  auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
@@ -96,11 +113,12 @@ int main(int argc, char** argv) {
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = static_cast<std::uint64_t>(*record_kib) << 10;
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
+  const plfs::WireFormat wire = bench::index_wire_or_die(*wire_name);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
 
   std::vector<Row> rows;
   for (const int streams : bench::sweep(16, static_cast<int>(*max_streams))) {
-    rows.push_back(run_streams(streams, per_proc, record, backend, plan));
+    rows.push_back(run_streams(streams, per_proc, record, backend, wire, plan));
   }
 
   bench::print_header("Fig. 4a — Read Open Time (s)",
@@ -140,6 +158,50 @@ int main(int argc, char** argv) {
                Table::num(bench::mbps(r.wbw_flat))});
   }
   d.print(std::cout);
+
+  if (!json_path->empty()) {
+    std::FILE* f = std::fopen(json_path->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open --json file: %s\n", json_path->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig4_read_scaling\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"max_streams\": %lld, \"per_proc_mib\": %lld, "
+                 "\"record_kib\": %lld, \"index_backend\": \"%s\", \"index_wire\": \"%s\", "
+                 "\"fault_plan\": \"%s\"},\n",
+                 static_cast<long long>(*max_streams), static_cast<long long>(*per_proc_mib),
+                 static_cast<long long>(*record_kib), plfs::index_backend_name(backend).c_str(),
+                 plfs::wire_format_name(wire).c_str(), plan_spec->c_str());
+    std::fprintf(f, "  \"rows\": [");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f, "%s\n    {\"streams\": %d,\n", i ? "," : "", r.streams);
+      std::fprintf(f,
+                   "     \"read_open_s\": {\"original\": %.6f, \"index_flatten\": %.6f, "
+                   "\"parallel_read\": %.6f},\n",
+                   r.open_orig, r.open_flat, r.open_par);
+      std::fprintf(f,
+                   "     \"read_bw_mbps\": {\"original\": %.3f, \"index_flatten\": %.3f, "
+                   "\"parallel_read\": %.3f},\n",
+                   bench::mbps(r.bw_orig), bench::mbps(r.bw_flat), bench::mbps(r.bw_par));
+      std::fprintf(f,
+                   "     \"index_bytes_read\": {\"original\": %llu, \"index_flatten\": %llu, "
+                   "\"parallel_read\": %llu},\n",
+                   static_cast<unsigned long long>(r.ibytes_orig),
+                   static_cast<unsigned long long>(r.ibytes_flat),
+                   static_cast<unsigned long long>(r.ibytes_par));
+      std::fprintf(f, "     \"write_close_s\": {\"noflatten\": %.6f, \"flatten\": %.6f},\n",
+                   r.close_noflat, r.close_flat);
+      std::fprintf(f, "     \"write_bw_mbps\": {\"noflatten\": %.3f, \"flatten\": %.3f}}",
+                   bench::mbps(r.wbw_noflat), bench::mbps(r.wbw_flat));
+    }
+    std::fprintf(f, "\n  ],\n");
+    bench::json_counters(f);
+    std::fprintf(f, "  \"schema\": 1\n}\n");
+    std::fclose(f);
+  }
+
   bench::print_fault_counters();
   bench::print_index_counters();
   bench::print_sim_counters();

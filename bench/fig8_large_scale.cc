@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   auto* max_meta_procs = flags.add_i64("max-meta-procs", 32768, "largest storm (figs 8b-d)");
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 4, "MiB per process for fig 8a");
   auto* backend_name = bench::add_index_backend_flag(flags);
+  auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
@@ -27,7 +29,24 @@ int main(int argc, char** argv) {
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = 256_KiB;
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
+  const plfs::WireFormat wire = bench::index_wire_or_die(*wire_name);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
+
+  struct ReadRow {
+    int procs;
+    double nn_direct, nn_plfs, n1_plfs;
+  };
+  struct StormRow {
+    int procs;
+    std::vector<double> open_s;  // one entry per MDS-count column
+  };
+  std::vector<ReadRow> read_rows;
+  std::vector<StormRow> nn_rows, n1_rows;
+  struct DirectRow {
+    int procs;
+    double direct_s, plfs_s;
+  };
+  std::vector<DirectRow> direct_rows;
 
   // --- 8a: read bandwidth ---
   bench::print_header("Fig. 8a — Large-Scale Read Bandwidth (MB/s)",
@@ -38,6 +57,7 @@ int main(int argc, char** argv) {
       auto bw = [&](Access access, const OpGen& ops) {
         testbed::Rig::Options opts = bench::cielo_rig(10);
         opts.index_backend = backend;
+        opts.index_wire = wire;
         opts.fault_plan = plan;
         testbed::Rig rig(std::move(opts));
         JobSpec spec;
@@ -51,6 +71,7 @@ int main(int argc, char** argv) {
       const double nn_direct = bw(Access::direct_nn, segmented_ops(per_proc, record));
       const double nn_plfs = bw(Access::plfs_nn, segmented_ops(per_proc, record));
       const double n1_plfs = bw(Access::plfs_n1, strided_ops(per_proc, record));
+      read_rows.push_back({n, nn_direct, nn_plfs, n1_plfs});
       t.add_row({std::to_string(n), Table::num(bench::mbps(nn_direct)),
                  Table::num(bench::mbps(nn_plfs)), Table::num(bench::mbps(n1_plfs))});
     }
@@ -66,14 +87,18 @@ int main(int argc, char** argv) {
     Table t({"procs", "PLFS-1", "PLFS-10", "PLFS-20"});
     for (const int n : storm_procs) {
       std::vector<std::string> row = {std::to_string(n)};
+      StormRow jrow{n, {}};
       for (const std::size_t mds : {std::size_t{1}, std::size_t{10}, std::size_t{20}}) {
         testbed::Rig::Options opts = bench::cielo_rig(mds);
         opts.fault_plan = plan;
         testbed::Rig rig(std::move(opts));
         MetaSpec spec;
         spec.use_plfs = true;
-        row.push_back(Table::num(run_metadata_storm(rig, n, spec).open_s, 2));
+        const double open_s = run_metadata_storm(rig, n, spec).open_s;
+        jrow.open_s.push_back(open_s);
+        row.push_back(Table::num(open_s, 2));
       }
+      nn_rows.push_back(std::move(jrow));
       t.add_row(row);
     }
     t.print(std::cout);
@@ -86,6 +111,7 @@ int main(int argc, char** argv) {
     Table t({"procs", "PLFS-1", "PLFS-10"});
     for (const int n : storm_procs) {
       std::vector<std::string> row = {std::to_string(n)};
+      StormRow jrow{n, {}};
       for (const std::size_t mds : {std::size_t{1}, std::size_t{10}}) {
         testbed::Rig::Options opts = bench::cielo_rig(mds);
         opts.fault_plan = plan;
@@ -93,8 +119,11 @@ int main(int argc, char** argv) {
         MetaSpec spec;
         spec.use_plfs = true;
         spec.shared_file = true;
-        row.push_back(Table::num(run_metadata_storm(rig, n, spec).open_s, 2));
+        const double open_s = run_metadata_storm(rig, n, spec).open_s;
+        jrow.open_s.push_back(open_s);
+        row.push_back(Table::num(open_s, 2));
       }
+      n1_rows.push_back(std::move(jrow));
       t.add_row(row);
     }
     t.print(std::cout);
@@ -117,11 +146,64 @@ int main(int argc, char** argv) {
       testbed::Rig rig_plfs(std::move(opts_plfs));
       spec.use_plfs = true;
       const double plfs = run_metadata_storm(rig_plfs, n, spec).open_s;
+      direct_rows.push_back({n, direct, plfs});
       t.add_row({std::to_string(n), Table::num(direct, 2), Table::num(plfs, 2),
                  Table::num(direct / plfs, 1) + "x"});
     }
     t.print(std::cout);
   }
+
+  if (!json_path->empty()) {
+    std::FILE* f = std::fopen(json_path->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open --json file: %s\n", json_path->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig8_large_scale\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"max_read_procs\": %lld, \"max_meta_procs\": %lld, "
+                 "\"per_proc_mib\": %lld, \"index_backend\": \"%s\", \"index_wire\": \"%s\", "
+                 "\"fault_plan\": \"%s\"},\n",
+                 static_cast<long long>(*max_read_procs), static_cast<long long>(*max_meta_procs),
+                 static_cast<long long>(*per_proc_mib), plfs::index_backend_name(backend).c_str(),
+                 plfs::wire_format_name(wire).c_str(), plan_spec->c_str());
+    std::fprintf(f, "  \"fig8a_read_bw_mbps\": [");
+    for (std::size_t i = 0; i < read_rows.size(); ++i) {
+      const auto& r = read_rows[i];
+      std::fprintf(f,
+                   "%s\n    {\"procs\": %d, \"nn_direct\": %.3f, \"nn_plfs\": %.3f, "
+                   "\"n1_plfs\": %.3f}",
+                   i ? "," : "", r.procs, bench::mbps(r.nn_direct), bench::mbps(r.nn_plfs),
+                   bench::mbps(r.n1_plfs));
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"fig8b_nn_open_s\": [");
+    for (std::size_t i = 0; i < nn_rows.size(); ++i) {
+      const auto& r = nn_rows[i];
+      std::fprintf(f,
+                   "%s\n    {\"procs\": %d, \"plfs1\": %.6f, \"plfs10\": %.6f, \"plfs20\": %.6f}",
+                   i ? "," : "", r.procs, r.open_s[0], r.open_s[1], r.open_s[2]);
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"fig8c_n1_open_s\": [");
+    for (std::size_t i = 0; i < n1_rows.size(); ++i) {
+      const auto& r = n1_rows[i];
+      std::fprintf(f, "%s\n    {\"procs\": %d, \"plfs1\": %.6f, \"plfs10\": %.6f}", i ? "," : "",
+                   r.procs, r.open_s[0], r.open_s[1]);
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"fig8d_nn_open_s\": [");
+    for (std::size_t i = 0; i < direct_rows.size(); ++i) {
+      const auto& r = direct_rows[i];
+      std::fprintf(f, "%s\n    {\"procs\": %d, \"direct\": %.6f, \"plfs10\": %.6f}", i ? "," : "",
+                   r.procs, r.direct_s, r.plfs_s);
+    }
+    std::fprintf(f, "\n  ],\n");
+    bench::json_counters(f);
+    std::fprintf(f, "  \"schema\": 1\n}\n");
+    std::fclose(f);
+  }
+
   bench::print_fault_counters();
   bench::print_index_counters();
   bench::print_sim_counters();

@@ -4,9 +4,11 @@
 // The headline comparison is the global-index build: the map-based oracle
 // (BTreeIndex over a re-sorted concatenated pool, the original design)
 // versus the merge-based FlatIndex (k-way merge of per-writer sorted runs +
-// offset sweep) at 10k/100k/1M entries. `--index_backend=btree|flat`
-// restricts the comparison to one side; after the run the plfs.index.*
-// counters are printed.
+// offset sweep) versus PatternIndex (runs compressed to arithmetic
+// progressions) at 10k/100k/1M entries. `--index_backend=btree|flat|pattern`
+// restricts the comparison to one backend; after the run a per-backend
+// serialized-size report (wire v1 vs v2) and the plfs.index.* counters are
+// printed.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -19,6 +21,8 @@
 #include "common/stats.h"
 #include "plfs/index.h"
 #include "plfs/index_builder.h"
+#include "plfs/mount.h"
+#include "plfs/pattern.h"
 
 namespace tio::plfs {
 namespace {
@@ -96,6 +100,20 @@ void BM_GlobalBuildMergeBTree(benchmark::State& state) {
                           static_cast<std::int64_t>(state.range(0)));
 }
 
+// Pattern backend: same merge front-end, then run detection over the
+// resolved mappings so lookups answer arithmetically.
+void BM_GlobalBuildMergePattern(benchmark::State& state) {
+  const int per_writer = static_cast<int>(state.range(0)) / kBuildWriters;
+  const auto runs = strided_runs(kBuildWriters, per_writer);
+  for (auto _ : state) {
+    IndexBuilder builder(IndexBackend::pattern);
+    for (const auto& r : runs) builder.add_run(r);
+    benchmark::DoNotOptimize(builder.build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+
 void BM_IndexBuildStrided(benchmark::State& state) {
   const auto entries = strided_entries(static_cast<int>(state.range(0)), 64);
   for (auto _ : state) {
@@ -143,6 +161,18 @@ void BM_IndexLookupFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexLookupFlat)->Arg(64)->Arg(1024);
 
+void BM_IndexLookupPattern(benchmark::State& state) {
+  const PatternIndex idx =
+      PatternIndex::build(strided_entries(static_cast<int>(state.range(0)), 64));
+  Rng rng(42);
+  const std::uint64_t size = idx.logical_size();
+  for (auto _ : state) {
+    const std::uint64_t off = rng.below(size - 1);
+    benchmark::DoNotOptimize(idx.lookup(off, std::min<std::uint64_t>(1 << 20, size - off)));
+  }
+}
+BENCHMARK(BM_IndexLookupPattern)->Arg(64)->Arg(1024);
+
 void BM_EntrySerialization(benchmark::State& state) {
   const auto entries = strided_entries(256, 64);
   for (auto _ : state) {
@@ -165,7 +195,31 @@ void BM_EntryDeserialization(benchmark::State& state) {
 }
 BENCHMARK(BM_EntryDeserialization);
 
-void register_build_benchmarks(bool want_btree, bool want_flat) {
+void BM_EntryEncodeV2(benchmark::State& state) {
+  const auto entries = strided_entries(256, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_entries(entries, WireFormat::v2));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries.size() * IndexEntry::kSerializedSize));
+}
+BENCHMARK(BM_EntryEncodeV2);
+
+void BM_EntryDecodeV2(benchmark::State& state) {
+  const auto entries = strided_entries(256, 64);
+  FragmentList fl;
+  fl.append(DataView::literal(encode_entries(entries, WireFormat::v2)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_entries(fl));
+  }
+  // Items, not bytes: the interesting rate is entries decoded per second,
+  // and the v2 buffer is far smaller than count * 40.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_EntryDecodeV2);
+
+void register_build_benchmarks(bool want_btree, bool want_flat, bool want_pattern) {
   auto args = [](benchmark::internal::Benchmark* b) {
     b->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
   };
@@ -176,6 +230,35 @@ void register_build_benchmarks(bool want_btree, bool want_flat) {
   if (want_flat) {
     args(benchmark::RegisterBenchmark("BM_GlobalBuildMergeFlat", BM_GlobalBuildMergeFlat));
   }
+  if (want_pattern) {
+    args(benchmark::RegisterBenchmark("BM_GlobalBuildMergePattern", BM_GlobalBuildMergePattern));
+  }
+}
+
+// Per-backend serialized footprint for the strided workload: what each
+// backend's to_entries() costs on the wire under v1 (fixed 40-byte records)
+// and v2 (pattern-compressed).
+void print_size_report(bool want_btree, bool want_flat, bool want_pattern) {
+  std::printf("\n-- serialized index size per backend (strided workload) --\n");
+  std::printf("%-9s %-8s %14s %14s %9s %14s\n", "entries", "backend", "wire_v1_B", "wire_v2_B",
+              "ratio", "memory_B");
+  for (const int total : {10000, 100000, 1000000}) {
+    const auto runs = strided_runs(kBuildWriters, total / kBuildWriters);
+    auto report = [&](const char* name, IndexBackend backend) {
+      IndexBuilder builder(backend);
+      for (const auto& r : runs) builder.add_run(r);
+      const IndexPtr idx = builder.build();
+      const std::uint64_t v1 = idx->serialized_bytes(WireFormat::v1);
+      const std::uint64_t v2 = idx->serialized_bytes(WireFormat::v2);
+      std::printf("%-9d %-8s %14llu %14llu %8.1fx %14llu\n", total, name,
+                  static_cast<unsigned long long>(v1), static_cast<unsigned long long>(v2),
+                  static_cast<double>(v1) / static_cast<double>(v2),
+                  static_cast<unsigned long long>(idx->memory_bytes()));
+    };
+    if (want_btree) report("btree", IndexBackend::btree);
+    if (want_flat) report("flat", IndexBackend::flat);
+    if (want_pattern) report("pattern", IndexBackend::pattern);
+  }
 }
 
 }  // namespace
@@ -184,27 +267,30 @@ void register_build_benchmarks(bool want_btree, bool want_flat) {
 int main(int argc, char** argv) {
   bool want_btree = true;
   bool want_flat = true;
+  bool want_pattern = true;
   // Strip our flag before google-benchmark sees the command line.
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kFlag = "--index_backend=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       tio::plfs::IndexBackend backend;
       if (!tio::plfs::parse_index_backend(argv[i] + std::strlen(kFlag), backend)) {
-        std::fprintf(stderr, "unknown --index_backend (want btree|flat): %s\n", argv[i]);
+        std::fprintf(stderr, "unknown --index_backend (want btree|flat|pattern): %s\n", argv[i]);
         return 1;
       }
       want_btree = backend == tio::plfs::IndexBackend::btree;
       want_flat = backend == tio::plfs::IndexBackend::flat;
+      want_pattern = backend == tio::plfs::IndexBackend::pattern;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
     }
   }
-  tio::plfs::register_build_benchmarks(want_btree, want_flat);
+  tio::plfs::register_build_benchmarks(want_btree, want_flat, want_pattern);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  tio::plfs::print_size_report(want_btree, want_flat, want_pattern);
   const auto counters = tio::counter_snapshot("plfs.index");
   if (!counters.empty()) {
     std::printf("\n-- plfs.index counters --\n");

@@ -17,8 +17,9 @@ echo "==> configure + build (asan preset)"
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 
-echo "==> index differential + cache tests under ASan/UBSan"
-ctest --preset asan -j "$jobs" -R 'IndexDiff|IndexCache|BTreeIndex|IndexProperty'
+echo "==> index differential + cache + wire-codec tests under ASan/UBSan"
+ctest --preset asan -j "$jobs" -R \
+  'IndexDiff|IndexCache|BTreeIndex|IndexProperty|Varint|WireV2|WireCompat|PatternIndex'
 
 # DeepAwaitChains is excluded: gcc does not tail-call the coroutine
 # symmetric transfer at -O0, so the 100k-deep chain overflows the stack in
@@ -34,5 +35,16 @@ ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|Re
 
 echo "==> fig7 under the stress fault plan must exit clean"
 ./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress >/dev/null
+
+echo "==> pattern index backend exercised through the build microbench"
+./build/bench/micro_index --index_backend=pattern \
+  --benchmark_filter='BM_GlobalBuildMergePattern/10000' >/dev/null
+
+echo "==> v1 -> v2 wire-format compat smoke"
+# Both wire settings must drive the full fig4 pipeline (write, flatten,
+# all three read strategies) to a clean exit; WireCompat unit tests cover
+# decoding v1 containers through the v2-default read path byte-for-byte.
+./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 --index_wire=v1 >/dev/null
+./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 --index_wire=v2 >/dev/null
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,102 @@
+// LEB128 varints and zigzag transforms, plus a bounds-checked cursor for
+// decoding them out of untrusted buffers.
+//
+// The index wire format (plfs/pattern.h) stores counts, offsets, and deltas
+// as varints: unsigned values use plain LEB128 (7 payload bits per byte,
+// high bit = continuation), signed deltas are zigzag-folded first so small
+// negative values stay small. A u64 varint is at most 10 bytes.
+//
+// ByteReader is the decode side: every accessor is bounds-checked and
+// returns false instead of reading past the end, and offset() always points
+// at the first unconsumed byte — which is exactly the byte offset decoders
+// want to put in their corruption error messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tio {
+
+inline void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Folds sign into the low bit: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_varint_signed(std::vector<std::byte>& out, std::int64_t v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+class ByteReader {
+ public:
+  ByteReader(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  void seek(std::size_t pos) { pos_ = pos; }
+
+  bool get_u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool get_u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  // False on truncation or on an overlong/overflowing encoding (> 10 bytes
+  // or bits beyond the 64th set).
+  bool get_varint(std::uint64_t& out) {
+    out = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+      if (pos_ >= size_) return false;
+      const auto b = static_cast<std::uint64_t>(data_[pos_++]);
+      if (i == 9 && (b & 0x7f) > 1) return false;  // would overflow 64 bits
+      out |= (b & 0x7f) << (7 * i);
+      if ((b & 0x80) == 0) return true;
+    }
+    return false;
+  }
+
+  bool get_varint_signed(std::int64_t& out) {
+    std::uint64_t raw = 0;
+    if (!get_varint(raw)) return false;
+    out = zigzag_decode(raw);
+    return true;
+  }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tio

@@ -5,6 +5,9 @@
 #include <limits>
 #include <string>
 
+#include "plfs/mount.h"
+#include "plfs/pattern.h"
+
 namespace tio::plfs {
 
 bool entry_timestamp_less(const IndexEntry& a, const IndexEntry& b) {
@@ -70,6 +73,25 @@ Result<std::vector<IndexEntry>> deserialize_entries(const FragmentList& data) {
   }
   return out;
 }
+
+std::uint64_t IndexView::serialized_bytes(WireFormat wire) const {
+  if (wire == WireFormat::v1) return serialized_bytes();
+  if (mapping_count() == 0) return 0;
+  if (wire_v2_bytes_ == 0) wire_v2_bytes_ = encoded_size(to_entries(), WireFormat::v2);
+  return wire_v2_bytes_;
+}
+
+namespace {
+
+// Synthetic resolution-sequence timestamps (see the to_entries() contract
+// in index.h): position in logical order.
+void stamp_resolution_sequence(std::vector<IndexEntry>& entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].timestamp_ns = static_cast<std::int64_t>(i);
+  }
+}
+
+}  // namespace
 
 // --- BTreeIndex ---
 
@@ -172,13 +194,16 @@ std::vector<IndexEntry> BTreeIndex::to_entries() const {
   for (const auto& [off, m] : map_) {
     out.push_back(IndexEntry{off, m.length, m.physical_offset, 0, m.writer});
   }
+  stamp_resolution_sequence(out);
   return out;
 }
 
-// --- FlatIndex ---
+// --- offset-domain sweep (shared by FlatIndex and PatternIndex) ---
 
-FlatIndex FlatIndex::from_sorted(const std::vector<IndexEntry>& sorted, bool compress) {
-  FlatIndex idx;
+std::vector<IndexView::Mapping> resolve_sorted_entries(const std::vector<IndexEntry>& sorted,
+                                                       bool compress) {
+  using Mapping = IndexView::Mapping;
+  std::vector<Mapping> mappings;
   const std::size_t n = sorted.size();
   // Offset-domain sweep. Boundaries are every extent start and end; within
   // one boundary segment the winning entry is constant, and the winner is
@@ -195,7 +220,7 @@ FlatIndex FlatIndex::from_sorted(const std::vector<IndexEntry>& sorted, bool com
     bounds.push_back(sorted[i].logical_offset);
     bounds.push_back(sorted[i].logical_offset + sorted[i].length);
   }
-  if (by_start.empty()) return idx;
+  if (by_start.empty()) return mappings;
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
   std::sort(by_start.begin(), by_start.end(), [&sorted](std::uint32_t a, std::uint32_t b) {
@@ -207,7 +232,7 @@ FlatIndex FlatIndex::from_sorted(const std::vector<IndexEntry>& sorted, bool com
   std::vector<std::uint32_t> heap;
   std::size_t next_start = 0;
   std::uint32_t last_won = std::numeric_limits<std::uint32_t>::max();
-  idx.mappings_.reserve(by_start.size());
+  mappings.reserve(by_start.size());
   for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
     const std::uint64_t x = bounds[b];
     while (next_start < by_start.size() &&
@@ -225,30 +250,36 @@ FlatIndex FlatIndex::from_sorted(const std::vector<IndexEntry>& sorted, bool com
     const std::uint64_t nx = bounds[b + 1];
     const std::uint32_t won = heap.front();
     const IndexEntry& e = sorted[won];
-    if (won == last_won && !idx.mappings_.empty() &&
-        idx.mappings_.back().logical_offset + idx.mappings_.back().length == x) {
-      idx.mappings_.back().length += nx - x;
+    if (won == last_won && !mappings.empty() &&
+        mappings.back().logical_offset + mappings.back().length == x) {
+      mappings.back().length += nx - x;
     } else {
-      idx.mappings_.push_back(
+      mappings.push_back(
           Mapping{x, nx - x, e.writer, e.physical_offset + (x - e.logical_offset)});
     }
     last_won = won;
   }
 
-  if (compress && !idx.mappings_.empty()) {
+  if (compress && !mappings.empty()) {
     std::size_t w = 0;
-    for (std::size_t i = 1; i < idx.mappings_.size(); ++i) {
-      Mapping& back = idx.mappings_[w];
-      const Mapping& m = idx.mappings_[i];
+    for (std::size_t i = 1; i < mappings.size(); ++i) {
+      Mapping& back = mappings[w];
+      const Mapping& m = mappings[i];
       if (back.writer == m.writer && back.logical_offset + back.length == m.logical_offset &&
           back.physical_offset + back.length == m.physical_offset) {
         back.length += m.length;
       } else {
-        idx.mappings_[++w] = m;
+        mappings[++w] = m;
       }
     }
-    idx.mappings_.resize(w + 1);
+    mappings.resize(w + 1);
   }
+  return mappings;
+}
+
+FlatIndex FlatIndex::from_sorted(const std::vector<IndexEntry>& sorted, bool compress) {
+  FlatIndex idx;
+  idx.mappings_ = resolve_sorted_entries(sorted, compress);
   return idx;
 }
 
@@ -288,6 +319,7 @@ std::vector<IndexEntry> FlatIndex::to_entries() const {
   for (const auto& m : mappings_) {
     out.push_back(IndexEntry{m.logical_offset, m.length, m.physical_offset, 0, m.writer});
   }
+  stamp_resolution_sequence(out);
   return out;
 }
 

@@ -19,8 +19,11 @@
 //     timestamp-ordered entry run (see index_builder.h for the streaming
 //     k-way merge that produces such runs), which avoids per-entry
 //     node-based map mutations entirely.
+//   * PatternIndex (pattern.h) — the same resolved mapping set stored as
+//     arithmetic pattern runs plus a literal spill, answering lookups by
+//     arithmetic instead of by materialized mappings.
 //
-// Both implementations perform entry compression: adjacent mappings from
+// All implementations perform entry compression: adjacent mappings from
 // the same writer that are contiguous both logically and physically
 // collapse into one, so well-behaved sequential/strided patterns have tiny
 // indices.
@@ -34,6 +37,10 @@
 #include "common/status.h"
 
 namespace tio::plfs {
+
+// On-wire encoding selector; defined in mount.h, used here only for the
+// wire-aware serialized-size query.
+enum class WireFormat : std::uint8_t;
 
 struct IndexEntry {
   std::uint64_t logical_offset = 0;
@@ -83,13 +90,41 @@ class IndexView {
   virtual std::uint64_t logical_size() const = 0;
   virtual std::size_t mapping_count() const = 0;
 
-  // Re-serializes the (compressed) index for broadcast/flatten costing.
+  // Re-serializes the (compressed) index for broadcast/flatten costing and
+  // for the flattened global index file.
+  //
+  // Post-resolution timestamp contract: a built index has already resolved
+  // all overlaps, so the original write timestamps are gone by construction
+  // (a surviving mapping may even be the stitched remains of several
+  // writes). Instead of zeroing the field — which made round trips through
+  // to_entries() lossy in a hidden way — entries carry a *synthetic
+  // resolution-sequence timestamp*: the mapping's position in logical
+  // order. That keeps any re-resolution of the output a no-op (timestamps
+  // strictly increase, and the mappings are disjoint anyway), makes the
+  // output a valid timestamp-sorted run for IndexBuilder, and turns the
+  // field into an arithmetic sequence the pattern codec can compress.
   virtual std::vector<IndexEntry> to_entries() const = 0;
+
+  // Fixed-record (wire v1) size; still the definition of "index volume" for
+  // the compression-ratio counters.
   std::uint64_t serialized_bytes() const { return mapping_count() * IndexEntry::kSerializedSize; }
+  // Size under a specific wire format. v2 runs the pattern encoder once and
+  // caches the result (views are immutable after build).
+  std::uint64_t serialized_bytes(WireFormat wire) const;
 
   // Approximate host-memory footprint, used by the IndexCache byte budget.
   virtual std::uint64_t memory_bytes() const = 0;
+
+ private:
+  mutable std::uint64_t wire_v2_bytes_ = 0;  // 0 = not yet computed
 };
+
+// Offset-domain sweep shared by FlatIndex and PatternIndex: resolves a
+// timestamp-ordered entry run (entry_timestamp_less order, later-wins last)
+// into the canonical non-overlapping mapping set, sorted by logical offset
+// and (when `compress`) maximally merged.
+std::vector<IndexView::Mapping> resolve_sorted_entries(const std::vector<IndexEntry>& sorted,
+                                                       bool compress);
 
 // The original map-based index: O(E log E) re-sort of the entry pool plus a
 // node-based map insert per entry. The correctness oracle.

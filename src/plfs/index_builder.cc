@@ -7,6 +7,7 @@
 
 #include "common/crc32c.h"
 #include "common/stats.h"
+#include "plfs/pattern.h"
 
 namespace tio::plfs {
 
@@ -95,14 +96,18 @@ IndexPtr IndexBuilder::build() const {
     case IndexBackend::flat:
       built = std::make_shared<const FlatIndex>(FlatIndex::from_sorted(run, compress_));
       break;
+    case IndexBackend::pattern:
+      built = std::make_shared<const PatternIndex>(PatternIndex::from_sorted(run, compress_));
+      break;
   }
   counter("plfs.index.builds").add(1);
   counter("plfs.index.build_ns").add(static_cast<std::uint64_t>(host_now_ns() - t0));
   return built;
 }
 
-std::vector<std::byte> serialize_entries_with_trailer(const std::vector<IndexEntry>& entries) {
-  std::vector<std::byte> out = serialize_entries(entries);
+std::vector<std::byte> serialize_entries_with_trailer(const std::vector<IndexEntry>& entries,
+                                                      WireFormat wire) {
+  std::vector<std::byte> out = encode_entries(entries, wire);
   const std::size_t base = out.size();
   out.resize(base + kIndexTrailerSize);
   const std::uint64_t count = entries.size();
@@ -119,10 +124,7 @@ Result<std::vector<IndexEntry>> deserialize_trailed_entries(const FragmentList& 
                                      std::to_string(at) + " (" + std::to_string(data.size()) +
                                      "-byte file)");
   };
-  if (data.size() < kIndexTrailerSize ||
-      (data.size() - kIndexTrailerSize) % IndexEntry::kSerializedSize != 0) {
-    return bad("truncated trailer", data.size() < kIndexTrailerSize ? 0 : data.size() - kIndexTrailerSize);
-  }
+  if (data.size() < kIndexTrailerSize) return bad("truncated trailer", 0);
   const auto bytes = data.to_bytes();
   const std::size_t base = bytes.size() - kIndexTrailerSize;
   std::uint32_t magic = 0;
@@ -132,12 +134,22 @@ Result<std::vector<IndexEntry>> deserialize_trailed_entries(const FragmentList& 
   std::memcpy(&count, bytes.data() + base + 4, 8);
   std::memcpy(&crc, bytes.data() + base + 12, 4);
   if (magic != kIndexTrailerMagic) return bad("bad trailer magic", base);
-  if (count != base / IndexEntry::kSerializedSize) return bad("record count mismatch", base + 4);
   const std::uint32_t want = crc32c(bytes.data(), base + 12);
   if (crc != want) return bad("crc mismatch", base + 12);
-  FragmentList records;
-  records.append(DataView::literal(std::vector<std::byte>(bytes.begin(), bytes.begin() + base)));
-  return deserialize_entries(records);
+  // The record payload self-describes its wire format (v2 segments lead
+  // with their own magic); `count` cross-checks whichever decoder ran.
+  Result<std::vector<IndexEntry>> entries = error(Errc::io_error, "unreachable");
+  if (base >= 4 && std::memcmp(bytes.data(), &kWireMagic, 4) == 0) {
+    entries = decode_entries_v2(bytes.data(), base);
+  } else {
+    if (base % IndexEntry::kSerializedSize != 0) return bad("truncated trailer", base);
+    FragmentList records;
+    records.append(DataView::literal(std::vector<std::byte>(bytes.begin(), bytes.begin() + base)));
+    entries = deserialize_entries(records);
+  }
+  if (!entries.ok()) return entries.status();
+  if (entries->size() != count) return bad("record count mismatch", base + 4);
+  return entries;
 }
 
 bool parse_index_backend(std::string_view name, IndexBackend& out) {
@@ -149,6 +161,10 @@ bool parse_index_backend(std::string_view name, IndexBackend& out) {
     out = IndexBackend::flat;
     return true;
   }
+  if (name == "pattern") {
+    out = IndexBackend::pattern;
+    return true;
+  }
   return false;
 }
 
@@ -156,6 +172,7 @@ std::string index_backend_name(IndexBackend backend) {
   switch (backend) {
     case IndexBackend::btree: return "btree";
     case IndexBackend::flat: return "flat";
+    case IndexBackend::pattern: return "pattern";
   }
   return "unknown";
 }

@@ -64,22 +64,28 @@ class IndexBuilder {
 // open, so (unlike the per-writer append-only logs) it can carry a
 // self-describing integrity trailer:
 //
-//   [40-byte records ...][magic u32][count u64][crc32c u32]   (16B trailer)
+//   [records ...][magic u32][count u64][crc32c u32]   (16B trailer)
 //
-// where crc covers records+magic+count. A missing, truncated, or
-// mismatching trailer — a torn close, a partial write, bit rot — is
-// detected at read time with Errc::io_error, letting the read-open path
-// fall back to Parallel Index Read instead of serving wrong data.
+// where crc covers records+magic+count. The records are either v1 fixed
+// 40-byte entries or v2 pattern-compressed segments (pattern.h) — readers
+// tell them apart by the v2 segment magic, so v1 files written before the
+// codec stay readable. `count` is always the entry count. A missing,
+// truncated, or mismatching trailer — a torn close, a partial write, bit
+// rot — is detected at read time with Errc::io_error, letting the
+// read-open path fall back to Parallel Index Read instead of serving
+// wrong data.
 inline constexpr std::uint32_t kIndexTrailerMagic = 0x58444950;  // "PIDX"
 inline constexpr std::size_t kIndexTrailerSize = 16;
 
-std::vector<std::byte> serialize_entries_with_trailer(const std::vector<IndexEntry>& entries);
+std::vector<std::byte> serialize_entries_with_trailer(const std::vector<IndexEntry>& entries,
+                                                      WireFormat wire = WireFormat::v1);
 // Verifies magic/count/crc, then deserializes the records. Any integrity
 // failure is Errc::io_error with the failing byte offset in the message.
 Result<std::vector<IndexEntry>> deserialize_trailed_entries(const FragmentList& data);
 
-// "--index_backend" flag vocabulary: "btree" | "flat" (case-sensitive).
-// Returns false on unknown names, leaving `out` untouched.
+// "--index_backend" flag vocabulary: "btree" | "flat" | "pattern"
+// (case-sensitive). Returns false on unknown names, leaving `out`
+// untouched.
 bool parse_index_backend(std::string_view name, IndexBackend& out);
 std::string index_backend_name(IndexBackend backend);
 

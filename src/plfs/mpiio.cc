@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "plfs/pattern.h"
 
 namespace tio::plfs {
 
@@ -37,7 +38,7 @@ sim::Task<Result<IndexPtr>> aggregate_flatten(Plfs& plfs, mpi::Comm& comm,
     auto read = co_await plfs.read_global_index(ctx, logical);
     if (read.ok()) {
       index = std::move(read.value());
-      bytes = index->serialized_bytes();
+      bytes = index->serialized_bytes(plfs.mount().index_wire);
     } else {
       counter("plfs.degrade.index_fallback").add(1);
       bytes = kFlattenUnusable;
@@ -86,7 +87,10 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
   const bool leader = group.rank() == 0;
   mpi::Comm leaders = co_await comm.split(leader ? 0 : 1, comm.rank());
 
-  const std::uint64_t my_bytes = mine.size() * IndexEntry::kSerializedSize;
+  // Runs travel pattern-compressed under wire v2: the transfer volume every
+  // collective below charges is the encoded size, not count * 40.
+  const WireFormat wire = plfs.mount().index_wire;
+  const std::uint64_t my_bytes = encoded_size(mine, wire);
   auto member_runs = co_await group.gather(0, std::move(mine), my_bytes);
 
   IndexPtr index;
@@ -97,7 +101,7 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
     for (auto& run : member_runs) group_builder.add_entries(std::move(run));
     auto group_run =
         std::make_shared<const std::vector<IndexEntry>>(group_builder.merged_run());
-    const std::uint64_t run_bytes = group_run->size() * IndexEntry::kSerializedSize;
+    const std::uint64_t run_bytes = encoded_size(*group_run, wire);
     // Runs travel as shared structure: every leader logically holds the
     // full entry set (and is charged transfer + merge CPU for it), but the
     // simulator keeps one copy — 65,536-rank runs would otherwise
@@ -117,7 +121,7 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
   }
 
   // 4. Leaders broadcast the merged global index within their group.
-  const std::uint64_t idx_bytes = leader ? index->serialized_bytes() : 0;
+  const std::uint64_t idx_bytes = leader ? index->serialized_bytes(wire) : 0;
   try {
     const std::uint64_t bytes = co_await group.bcast(0, idx_bytes, 8);
     index = co_await group.bcast(0, std::move(index), bytes);
@@ -176,7 +180,7 @@ sim::Task<Status> MpiFile::close_write(bool flatten) {
     const std::uint64_t max_entries = co_await comm_->allreduce(
         my_entries, 8, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
     if (max_entries <= plfs_->mount().flatten_threshold) {
-      const std::uint64_t bytes = my_entries * IndexEntry::kSerializedSize;
+      const std::uint64_t bytes = encoded_size(write_->entries(), plfs_->mount().index_wire);
       auto pools = co_await comm_->gather(0, write_->entries(), bytes);
       if (comm_->rank() == 0) {
         // Each writer's entry pool is already a timestamp-sorted run.

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/strutil.h"
+#include "plfs/pattern.h"
 #include "sim/timeout.h"
 
 namespace tio::plfs {
@@ -289,12 +290,14 @@ sim::Task<Status> WriteHandle::write(std::uint64_t logical_offset, DataView data
 
 sim::Task<Status> WriteHandle::flush_index() {
   if (flushed_ == entries_.size()) co_return Status::Ok();
-  std::vector<std::byte> buf;
-  buf.reserve((entries_.size() - flushed_) * IndexEntry::kSerializedSize);
-  for (std::size_t i = flushed_; i < entries_.size(); ++i) {
-    append_serialized(buf, entries_[i]);
-  }
+  // Each flush batch becomes one self-contained wire unit (a v2 segment or
+  // a run of v1 records), so the log stays append-only and readable after
+  // any prefix of flushes.
+  const std::vector<IndexEntry> batch(entries_.begin() + static_cast<std::ptrdiff_t>(flushed_),
+                                      entries_.end());
+  std::vector<std::byte> buf = encode_entries(batch, plfs_->mount_.index_wire);
   const std::uint64_t n = buf.size();
+  counter("plfs.index.log_bytes_written").add(n);
   TIO_CO_ASSIGN_OR_RETURN(std::uint64_t written,
                           co_await plfs_->write_fully(ctx_, index_fd_, index_offset_,
                                                       DataView::literal(std::move(buf)),
@@ -376,17 +379,21 @@ sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> Plfs::read_ind
   if (!data.ok()) co_return data.status();
   const std::string container = path_normalize(logical);
   const std::uint64_t gen = cache_.generation(container);
-  co_await engine().sleep(mount_.index_cpu_per_entry *
-                          static_cast<std::int64_t>(data->size() / IndexEntry::kSerializedSize));
+  counter("plfs.index.log_bytes_read").add(data->size());
   auto cached = cache_.get_log(container, path);
   if (cached == nullptr) {
-    auto entries = deserialize_entries(*data);
+    auto entries = decode_entries(*data);  // auto-detects wire v1 / v2
     if (!entries.ok()) co_return entries.status();
     cached = std::make_shared<const std::vector<IndexEntry>>(std::move(entries.value()));
     // Don't install if a writer invalidated the container mid-parse: this
     // copy reflects pre-invalidation bytes.
     if (cache_.generation(container) == gen) cache_.put_log(container, path, cached);
   }
+  // Per-entry handling cost: charged on the decoded entry count (identical
+  // across wire formats — compression shrinks bytes moved, not the entries
+  // every reader still processes), and by every reader, cached or not.
+  co_await engine().sleep(mount_.index_cpu_per_entry *
+                          static_cast<std::int64_t>(cached->size()));
   co_return cached;
 }
 
@@ -425,8 +432,7 @@ sim::Task<Result<IndexPtr>> Plfs::read_global_index(pfs::IoCtx ctx, const std::s
   auto data = co_await read_retried(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
   TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, fd));
   if (!data.ok()) co_return data.status();
-  co_await engine().sleep(mount_.index_cpu_per_entry *
-                          static_cast<std::int64_t>(data->size() / IndexEntry::kSerializedSize));
+  counter("plfs.index.global_bytes_read").add(data->size());
   auto cached = cache_.get_log(container, path);
   if (cached == nullptr) {
     auto entries = deserialize_trailed_entries(*data);
@@ -434,6 +440,8 @@ sim::Task<Result<IndexPtr>> Plfs::read_global_index(pfs::IoCtx ctx, const std::s
     cached = std::make_shared<const std::vector<IndexEntry>>(std::move(entries.value()));
     if (cache_.generation(container) == gen) cache_.put_log(container, path, cached);
   }
+  co_await engine().sleep(mount_.index_cpu_per_entry *
+                          static_cast<std::int64_t>(cached->size()));
   // The flattened file's records are already non-overlapping; one run.
   IndexBuilder builder(mount_.index_backend);
   builder.add_run(std::move(cached));
@@ -446,7 +454,8 @@ sim::Task<Status> Plfs::write_global_index(pfs::IoCtx ctx, const std::string& lo
   cache_.invalidate(path_normalize(logical));  // cached global-index log is stale
   const std::string path = lay.global_index_path();
   TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await open_retried(ctx, path, OpenFlags::wr_trunc()));
-  auto bytes = serialize_entries_with_trailer(index.to_entries());
+  auto bytes = serialize_entries_with_trailer(index.to_entries(), mount_.index_wire);
+  counter("plfs.index.global_bytes_written").add(bytes.size());
   auto written = co_await write_fully(ctx, fd, 0, DataView::literal(std::move(bytes)),
                                       path_op_key(path));
   const Status closed = co_await close_retried(ctx, fd);

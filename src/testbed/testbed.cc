@@ -84,6 +84,7 @@ Rig::Rig(Options options)
       options.plfs_backends > 0 ? options.plfs_backends : options.pfs.num_mds;
   mount_ = plfs_mount(backends, options.num_subdirs);
   mount_.index_backend = options.index_backend;
+  mount_.index_wire = options.index_wire;
   mount_.retry = options.retry;
   if (options.fault_plan.enabled()) {
     faulty_ = std::make_unique<pfs::FaultyFs>(*pfs_, options.fault_plan);

@@ -1,16 +1,18 @@
-// Differential tests: FlatIndex vs BTreeIndex (the correctness oracle).
+// Differential tests: FlatIndex and PatternIndex vs BTreeIndex (the
+// correctness oracle).
 //
 // Unit level: identical randomized overlapping/striding write pools are fed
-// to both backends; lookup() results, logical_size(), and the compressed
+// to every backend; lookup() results, logical_size(), and the compressed
 // mapping set itself must be identical. The pools respect the simulator's
 // invariant that each writer's timestamps increase with its physical
-// offsets (a writer's log is appended in time order) — under it both
+// offsets (a writer's log is appended in time order) — under it all
 // backends produce the same canonical maximally-compressed mapping set, so
 // the comparison is exact, not just byte-equivalent.
 //
 // Strategy level: a strided N-1 file is aggregated through all three
-// ReadStrategy values with each backend; every (strategy, backend)
-// combination must expand to byte-identical lookup results.
+// ReadStrategy values with each backend (with and without an injected
+// fault plan); every (strategy, backend) combination must expand to
+// byte-identical lookup results.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,10 +21,12 @@
 
 #include "common/rng.h"
 #include "localfs/mem_fs.h"
+#include "pfs/faulty_fs.h"
 #include "pfs/sim_pfs.h"
 #include "plfs/index.h"
 #include "plfs/index_builder.h"
 #include "plfs/mpiio.h"
+#include "plfs/pattern.h"
 
 namespace tio::plfs {
 namespace {
@@ -71,35 +75,42 @@ Pool random_pool(std::uint64_t seed, int writers, int ops) {
 
 class IndexDiff : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(IndexDiff, FlatMatchesBTreeExactly) {
+TEST_P(IndexDiff, FlatAndPatternMatchBTreeExactly) {
   const Pool pool = random_pool(GetParam(), /*writers=*/8, /*ops=*/500);
   const BTreeIndex oracle = BTreeIndex::build(pool.entries);
   const FlatIndex flat = FlatIndex::build(pool.entries);
+  const PatternIndex pattern = PatternIndex::build(pool.entries);
 
-  EXPECT_EQ(flat.logical_size(), oracle.logical_size());
-  EXPECT_EQ(flat.mapping_count(), oracle.mapping_count());
-  // The canonical compressed mapping sets are identical, so serialization
-  // is byte-identical too.
-  EXPECT_EQ(serialize_entries(flat.to_entries()), serialize_entries(oracle.to_entries()));
-  // Full-range and random ranged lookups agree exactly.
-  EXPECT_EQ(flat.lookup(0, pool.domain), oracle.lookup(0, pool.domain));
-  Rng rng(GetParam() ^ 0xD1FF);
-  for (int probe = 0; probe < 200; ++probe) {
-    const std::uint64_t off = rng.below(pool.domain);
-    const std::uint64_t len = 1 + rng.below(128 << 10);
-    EXPECT_EQ(flat.lookup(off, len), oracle.lookup(off, len)) << "probe " << probe;
+  for (const IndexView* idx : {static_cast<const IndexView*>(&flat),
+                               static_cast<const IndexView*>(&pattern)}) {
+    EXPECT_EQ(idx->logical_size(), oracle.logical_size());
+    EXPECT_EQ(idx->mapping_count(), oracle.mapping_count());
+    // The canonical compressed mapping sets are identical, so serialization
+    // is byte-identical too.
+    EXPECT_EQ(serialize_entries(idx->to_entries()), serialize_entries(oracle.to_entries()));
+    // Full-range and random ranged lookups agree exactly.
+    EXPECT_EQ(idx->lookup(0, pool.domain), oracle.lookup(0, pool.domain));
+    Rng rng(GetParam() ^ 0xD1FF);
+    for (int probe = 0; probe < 200; ++probe) {
+      const std::uint64_t off = rng.below(pool.domain);
+      const std::uint64_t len = 1 + rng.below(128 << 10);
+      EXPECT_EQ(idx->lookup(off, len), oracle.lookup(off, len)) << "probe " << probe;
+    }
+    // Past-EOF and zero-length probes.
+    EXPECT_EQ(idx->lookup(pool.domain * 2, 100), oracle.lookup(pool.domain * 2, 100));
+    EXPECT_EQ(idx->lookup(5, 0), oracle.lookup(5, 0));
   }
-  // Past-EOF and zero-length probes.
-  EXPECT_EQ(flat.lookup(pool.domain * 2, 100), oracle.lookup(pool.domain * 2, 100));
-  EXPECT_EQ(flat.lookup(5, 0), oracle.lookup(5, 0));
 }
 
 TEST_P(IndexDiff, UncompressedBackendsAgree) {
   const Pool pool = random_pool(GetParam() ^ 0xC0FFEE, 5, 300);
   const BTreeIndex oracle = BTreeIndex::build(pool.entries, /*compress=*/false);
   const FlatIndex flat = FlatIndex::build(pool.entries, /*compress=*/false);
+  const PatternIndex pattern = PatternIndex::build(pool.entries, /*compress=*/false);
   EXPECT_EQ(flat.logical_size(), oracle.logical_size());
   EXPECT_EQ(flat.lookup(0, pool.domain), oracle.lookup(0, pool.domain));
+  EXPECT_EQ(pattern.logical_size(), oracle.logical_size());
+  EXPECT_EQ(pattern.lookup(0, pool.domain), oracle.lookup(0, pool.domain));
 }
 
 TEST_P(IndexDiff, BuilderMergeMatchesPoolSort) {
@@ -110,20 +121,26 @@ TEST_P(IndexDiff, BuilderMergeMatchesPoolSort) {
   for (const auto& e : pool.entries) runs[e.writer].push_back(e);
   IndexBuilder flat_builder(IndexBackend::flat);
   IndexBuilder btree_builder(IndexBackend::btree);
+  IndexBuilder pattern_builder(IndexBackend::pattern);
   for (auto& r : runs) {
     std::sort(r.begin(), r.end(), entry_timestamp_less);
     flat_builder.add_entries(r);
+    pattern_builder.add_entries(r);
     btree_builder.add_entries(std::move(r));
   }
   const IndexPtr flat = flat_builder.build();
   const IndexPtr btree = btree_builder.build();
+  const IndexPtr pattern = pattern_builder.build();
   const FlatIndex direct = FlatIndex::build(pool.entries);
 
   EXPECT_EQ(flat->lookup(0, pool.domain), direct.lookup(0, pool.domain));
   EXPECT_EQ(btree->lookup(0, pool.domain), direct.lookup(0, pool.domain));
+  EXPECT_EQ(pattern->lookup(0, pool.domain), direct.lookup(0, pool.domain));
   EXPECT_EQ(flat->logical_size(), direct.logical_size());
   EXPECT_EQ(btree->logical_size(), direct.logical_size());
+  EXPECT_EQ(pattern->logical_size(), direct.logical_size());
   EXPECT_EQ(serialize_entries(flat->to_entries()), serialize_entries(btree->to_entries()));
+  EXPECT_EQ(serialize_entries(pattern->to_entries()), serialize_entries(btree->to_entries()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexDiff,
@@ -132,12 +149,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IndexDiff,
 // --- strategy-level: every ReadStrategy x every backend, same results ---
 
 struct World {
-  explicit World(IndexBackend backend)
+  explicit World(IndexBackend backend, const std::string& plan_spec = "none")
       : cluster(engine, cluster_config()), pfs(cluster, pfs_config()),
-        plfs(pfs, mount_config(backend)) {
+        faulty(pfs, parse_plan(plan_spec)), plfs(faulty, mount_config(backend)) {
     for (const auto& b : plfs.mount().backends) {
       if (!pfs.ns().mkdir_all(b).ok()) std::abort();
     }
+  }
+  static pfs::FaultPlan parse_plan(const std::string& spec) {
+    auto plan = pfs::FaultPlan::parse(spec);
+    if (!plan.ok()) std::abort();
+    return std::move(plan.value());
   }
   static net::ClusterConfig cluster_config() {
     net::ClusterConfig c;
@@ -165,6 +187,7 @@ struct World {
   sim::Engine engine;
   net::Cluster cluster;
   pfs::SimPfs pfs;
+  pfs::FaultyFs faulty;  // pass-through when the plan is "none"
   Plfs plfs;
 };
 
@@ -176,7 +199,8 @@ TEST(IndexDiffStrategies, AllStrategiesAndBackendsExpandIdentically) {
 
   std::vector<std::vector<IndexView::Mapping>> expansions;
   std::vector<std::uint64_t> sizes;
-  for (const IndexBackend backend : {IndexBackend::btree, IndexBackend::flat}) {
+  for (const IndexBackend backend :
+       {IndexBackend::btree, IndexBackend::flat, IndexBackend::pattern}) {
     World w(backend);
     mpi::run_spmd(w.cluster, kProcs, [&w](mpi::Comm comm) -> sim::Task<void> {
       auto file = co_await MpiFile::open_write(w.plfs, comm, "/diff");
@@ -203,10 +227,90 @@ TEST(IndexDiffStrategies, AllStrategiesAndBackendsExpandIdentically) {
       sizes.push_back(got->logical_size());
     }
   }
-  ASSERT_EQ(expansions.size(), 6u);
+  ASSERT_EQ(expansions.size(), 9u);
   for (std::size_t i = 1; i < expansions.size(); ++i) {
     EXPECT_EQ(expansions[i], expansions[0]) << "combination " << i;
     EXPECT_EQ(sizes[i], sizes[0]) << "combination " << i;
+  }
+}
+
+// --- PatternIndex vs oracle: workload shapes x strategies x fault plans ---
+
+// Four write shapes spanning the detector's best and worst cases.
+enum class Shape { strided, sequential, overlapping, irregular };
+
+void write_shape(World& w, const std::string& logical, Shape shape) {
+  constexpr int kProcs = 9;
+  constexpr int kRounds = 4;
+  constexpr std::uint64_t kRecord = 3000;
+  mpi::run_spmd(w.cluster, kProcs, [&](mpi::Comm comm) -> sim::Task<void> {
+    auto file = co_await MpiFile::open_write(w.plfs, comm, logical);
+    EXPECT_TRUE(file.ok()) << file.status();
+    if (!file.ok()) co_return;
+    const auto rank = static_cast<std::uint64_t>(comm.rank());
+    const auto n = static_cast<std::uint64_t>(comm.size());
+    auto put = [&](std::uint64_t off, std::uint64_t len) -> sim::Task<void> {
+      EXPECT_TRUE((co_await (*file)->write(off, DataView::pattern(7, off, len))).ok());
+    };
+    switch (shape) {
+      case Shape::strided:
+        for (int r = 0; r < kRounds; ++r) co_await put((r * n + rank) * kRecord, kRecord);
+        break;
+      case Shape::sequential:
+        for (int r = 0; r < kRounds; ++r) {
+          co_await put(rank * kRounds * kRecord + r * kRecord, kRecord);
+        }
+        break;
+      case Shape::overlapping:
+        // A strided pass, then a half-record-shifted second pass that
+        // overwrites most of the first.
+        for (int r = 0; r < kRounds; ++r) co_await put((r * n + rank) * kRecord, kRecord);
+        for (int r = 0; r < kRounds; ++r) {
+          co_await put((r * n + rank) * kRecord + kRecord / 2, kRecord);
+        }
+        break;
+      case Shape::irregular: {
+        Rng rng(rank * 7919 + 13);
+        for (int r = 0; r < 3 * kRounds; ++r) {
+          const std::uint64_t len = 1 + rng.below(6000);
+          co_await put(rng.below((1 << 18) - len), len);
+        }
+        break;
+      }
+    }
+    EXPECT_TRUE((co_await (*file)->close_write(/*flatten=*/true)).ok());
+  });
+}
+
+TEST(IndexDiffStrategies, PatternMatchesOracleAcrossShapesStrategiesAndFaults) {
+  constexpr int kProcs = 9;
+  constexpr std::uint64_t kDomain = 1 << 19;  // covers every shape's extent
+  for (const char* plan : {"none", "transient1"}) {
+    for (const Shape shape :
+         {Shape::strided, Shape::sequential, Shape::overlapping, Shape::irregular}) {
+      std::vector<std::vector<IndexView::Mapping>> expansions;
+      for (const IndexBackend backend : {IndexBackend::btree, IndexBackend::pattern}) {
+        World w(backend, plan);
+        write_shape(w, "/shape", shape);
+        for (const ReadStrategy strategy : {ReadStrategy::original, ReadStrategy::index_flatten,
+                                            ReadStrategy::parallel_read}) {
+          IndexPtr got;
+          mpi::run_spmd(w.cluster, kProcs,
+                        [&w, &got, strategy](mpi::Comm comm) -> sim::Task<void> {
+                          auto idx = co_await aggregate_index(w.plfs, comm, "/shape", strategy);
+                          EXPECT_TRUE(idx.ok()) << idx.status();
+                          if (idx.ok() && comm.rank() == 0) got = *idx;
+                        });
+          ASSERT_NE(got, nullptr);
+          expansions.push_back(got->lookup(0, kDomain));
+        }
+      }
+      ASSERT_EQ(expansions.size(), 6u);
+      for (std::size_t i = 1; i < expansions.size(); ++i) {
+        EXPECT_EQ(expansions[i], expansions[0])
+            << "plan " << plan << " shape " << static_cast<int>(shape) << " combination " << i;
+      }
+    }
   }
 }
 

@@ -189,8 +189,9 @@ TEST_F(PlfsCoreTest, LogicalSizeFromDroppings) {
 }
 
 TEST_F(PlfsCoreTest, IndexLogFlushBatching) {
-  // index_flush_every = 4: after 3 writes the log is empty; after 4 it has
-  // 4 records; close flushes the remainder.
+  // index_flush_every = 4: after 3 writes the log is empty; after 4 one
+  // batch (a v2 segment) hits the log; close flushes the remainder as a
+  // second self-contained segment.
   test::run_task(engine_, [](Plfs& plfs, localfs::MemFs& fs) -> sim::Task<void> {
     IoCtx ctx{0, 0};
     const std::string log = plfs.layout("/f").index_log_path(0);
@@ -202,12 +203,34 @@ TEST_F(PlfsCoreTest, IndexLogFlushBatching) {
     EXPECT_EQ(st->size, 0u);
     EXPECT_TRUE((co_await (*wh)->write(30, DataView::zeros(10))).ok());
     st = co_await fs.stat(ctx, log);
+    const std::uint64_t first_flush = st->size;
+    EXPECT_GT(first_flush, 0u);
+    EXPECT_TRUE((co_await (*wh)->write(40, DataView::zeros(10))).ok());
+    EXPECT_TRUE((co_await (*wh)->close()).ok());
+    st = co_await fs.stat(ctx, log);
+    EXPECT_GT(st->size, first_flush);
+  }(plfs_, fs_));
+}
+
+TEST_F(PlfsCoreTest, IndexLogFlushBatchingV1Wire) {
+  // Same flush schedule under wire v1, where batch sizes are exact record
+  // multiples — pinning the legacy on-disk format.
+  mount_.index_wire = WireFormat::v1;
+  Plfs plfs(fs_, mount_);
+  test::run_task(engine_, [](Plfs& plfs, localfs::MemFs& fs) -> sim::Task<void> {
+    IoCtx ctx{0, 0};
+    const std::string log = plfs.layout("/f").index_log_path(0);
+    auto wh = co_await plfs.open_write(ctx, "/f", 0);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE((co_await (*wh)->write(i * 10, DataView::zeros(10))).ok());
+    }
+    auto st = co_await fs.stat(ctx, log);
     EXPECT_EQ(st->size, 4 * IndexEntry::kSerializedSize);
     EXPECT_TRUE((co_await (*wh)->write(40, DataView::zeros(10))).ok());
     EXPECT_TRUE((co_await (*wh)->close()).ok());
     st = co_await fs.stat(ctx, log);
     EXPECT_EQ(st->size, 5 * IndexEntry::kSerializedSize);
-  }(plfs_, fs_));
+  }(plfs, fs_));
 }
 
 TEST_F(PlfsCoreTest, ReopenForWriteTruncatesLogs) {
