@@ -1,6 +1,7 @@
 // Shared plumbing for the figure-reproduction harnesses.
 #pragma once
 
+#include <clocale>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -8,9 +9,11 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/jsonfmt.h"
 #include "common/stats.h"
 #include "common/strutil.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "plfs/pattern.h"
 #include "testbed/testbed.h"
 #include "workloads/harness.h"
@@ -120,7 +123,11 @@ inline void print_fault_counters() {
 
 // Host-side index/cache instrumentation accumulated during the run.
 inline void print_index_counters() {
-  const auto counters = counter_snapshot("plfs.index");
+  // Prefix grouping is dot-boundary-aware, so "plfs.index" no longer drags
+  // in the plfs.index_cache.* family; ask for both groups explicitly.
+  auto counters = counter_snapshot("plfs.index");
+  const auto cache = counter_snapshot("plfs.index_cache");
+  counters.insert(counters.end(), cache.begin(), cache.end());
   if (counters.empty()) return;
   // stderr on purpose: build_ns is host wall time, and stdout must stay
   // byte-identical across runs (the determinism check diffs it).
@@ -142,7 +149,8 @@ inline void print_index_counters() {
 // Includes the derived pattern-compression ratio when the codec ran.
 inline void json_counters(std::FILE* f) {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
-  for (const char* prefix : {"plfs.index", "plfs.fault", "plfs.retry", "plfs.degrade"}) {
+  for (const char* prefix :
+       {"plfs.index", "plfs.index_cache", "plfs.fault", "plfs.retry", "plfs.degrade"}) {
     const auto group = counter_snapshot(prefix);
     counters.insert(counters.end(), group.begin(), group.end());
   }
@@ -157,12 +165,79 @@ inline void json_counters(std::FILE* f) {
     first = false;
   }
   std::fprintf(f, "\n  },\n");
+  // json_double, not printf %f: the harnesses call setlocale(), and a comma
+  // decimal point would corrupt the JSON document.
   if (raw > 0 && wire > 0) {
-    std::fprintf(f, "  \"index_compression_ratio\": %.2f,\n",
-                 static_cast<double>(raw) / static_cast<double>(wire));
+    const double ratio = static_cast<double>(raw) / static_cast<double>(wire);
+    std::fprintf(f, "  \"index_compression_ratio\": %s,\n", json_double(ratio, 2).c_str());
   } else {
     std::fprintf(f, "  \"index_compression_ratio\": null,\n");
   }
+}
+
+// Emits the accumulated latency-histogram state as one JSON object member
+// named "histograms" (no trailing comma). All fields are integer
+// nanoseconds, immune to locale.
+inline void json_histograms(std::FILE* f, std::string_view prefix = "") {
+  const auto hists = histogram_snapshot(prefix);
+  std::fprintf(f, "  \"histograms\": {");
+  bool first = true;
+  for (const auto& [name, h] : hists) {
+    if (h->count() == 0) continue;
+    std::fprintf(f,
+                 "%s\n    \"%s\": {\"count\": %llu, \"p50_ns\": %lld, \"p90_ns\": %lld, "
+                 "\"p99_ns\": %lld, \"max_ns\": %lld, \"sum_ns\": %lld}",
+                 first ? "" : ",", name.c_str(), static_cast<unsigned long long>(h->count()),
+                 static_cast<long long>(h->percentile(50)), static_cast<long long>(h->percentile(90)),
+                 static_cast<long long>(h->percentile(99)), static_cast<long long>(h->max()),
+                 static_cast<long long>(h->sum()));
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+}
+
+// Latency-histogram table on stderr (host-readable companion of the --json
+// "histograms" block; stdout stays byte-comparable across runs).
+inline void print_histograms() {
+  const auto hists = histogram_snapshot("");
+  bool any = false;
+  for (const auto& [name, h] : hists) any = any || h->count() > 0;
+  if (!any) return;
+  std::fprintf(stderr, "\n-- latency histograms (virtual ns) --\n");
+  std::fprintf(stderr, "%-28s %10s %12s %12s %12s %12s\n", "span", "count", "p50", "p90", "p99",
+               "max");
+  for (const auto& [name, h] : hists) {
+    if (h->count() == 0) continue;
+    std::fprintf(stderr, "%-28s %10llu %12lld %12lld %12lld %12lld\n", name.c_str(),
+                 static_cast<unsigned long long>(h->count()),
+                 static_cast<long long>(h->percentile(50)),
+                 static_cast<long long>(h->percentile(90)),
+                 static_cast<long long>(h->percentile(99)), static_cast<long long>(h->max()));
+  }
+}
+
+// Shared --trace flag: when non-empty, span tracing is enabled for the whole
+// run and the buffered spans are written to the path as Chrome trace-event
+// JSON (chrome://tracing, Perfetto) by finish_trace().
+inline std::string* add_trace_flag(FlagSet& flags) {
+  std::string* path = flags.add_string("trace", "", "write Chrome trace-event JSON to this file");
+  return path;
+}
+
+// Call once after flag parsing: turns the tracer on if --trace was given.
+inline void start_trace(const std::string& path) {
+  if (!path.empty()) trace::Tracer::instance().set_enabled(true);
+}
+
+// Call once at exit: writes the trace file if --trace was given.
+inline void finish_trace(const std::string& path) {
+  if (path.empty()) return;
+  if (!trace::Tracer::instance().write_chrome_json(path)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "\ntrace: %zu spans -> %s\n", trace::Tracer::instance().span_count(),
+               path.c_str());
 }
 
 // Wall-clock engine instrumentation: raw sim.engine.* counters plus the

@@ -98,6 +98,7 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::setlocale(LC_ALL, "");  // stdout tables honor the user's locale; JSON must not
   FlagSet flags("fig4_read_scaling: index aggregation strategies vs stream count");
   auto* max_streams = flags.add_i64("max-streams", 1024, "largest concurrent stream count (paper: 2048)");
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 16, "MiB per stream (paper: 50 MB)");
@@ -106,10 +107,12 @@ int main(int argc, char** argv) {
   auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
+  auto* trace_path = bench::add_trace_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  bench::start_trace(*trace_path);
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = static_cast<std::uint64_t>(*record_kib) << 10;
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
@@ -178,32 +181,39 @@ int main(int argc, char** argv) {
       const Row& r = rows[i];
       std::fprintf(f, "%s\n    {\"streams\": %d,\n", i ? "," : "", r.streams);
       std::fprintf(f,
-                   "     \"read_open_s\": {\"original\": %.6f, \"index_flatten\": %.6f, "
-                   "\"parallel_read\": %.6f},\n",
-                   r.open_orig, r.open_flat, r.open_par);
+                   "     \"read_open_s\": {\"original\": %s, \"index_flatten\": %s, "
+                   "\"parallel_read\": %s},\n",
+                   json_double(r.open_orig, 6).c_str(), json_double(r.open_flat, 6).c_str(),
+                   json_double(r.open_par, 6).c_str());
       std::fprintf(f,
-                   "     \"read_bw_mbps\": {\"original\": %.3f, \"index_flatten\": %.3f, "
-                   "\"parallel_read\": %.3f},\n",
-                   bench::mbps(r.bw_orig), bench::mbps(r.bw_flat), bench::mbps(r.bw_par));
+                   "     \"read_bw_mbps\": {\"original\": %s, \"index_flatten\": %s, "
+                   "\"parallel_read\": %s},\n",
+                   json_double(bench::mbps(r.bw_orig), 3).c_str(),
+                   json_double(bench::mbps(r.bw_flat), 3).c_str(),
+                   json_double(bench::mbps(r.bw_par), 3).c_str());
       std::fprintf(f,
                    "     \"index_bytes_read\": {\"original\": %llu, \"index_flatten\": %llu, "
                    "\"parallel_read\": %llu},\n",
                    static_cast<unsigned long long>(r.ibytes_orig),
                    static_cast<unsigned long long>(r.ibytes_flat),
                    static_cast<unsigned long long>(r.ibytes_par));
-      std::fprintf(f, "     \"write_close_s\": {\"noflatten\": %.6f, \"flatten\": %.6f},\n",
-                   r.close_noflat, r.close_flat);
-      std::fprintf(f, "     \"write_bw_mbps\": {\"noflatten\": %.3f, \"flatten\": %.3f}}",
-                   bench::mbps(r.wbw_noflat), bench::mbps(r.wbw_flat));
+      std::fprintf(f, "     \"write_close_s\": {\"noflatten\": %s, \"flatten\": %s},\n",
+                   json_double(r.close_noflat, 6).c_str(), json_double(r.close_flat, 6).c_str());
+      std::fprintf(f, "     \"write_bw_mbps\": {\"noflatten\": %s, \"flatten\": %s}}",
+                   json_double(bench::mbps(r.wbw_noflat), 3).c_str(),
+                   json_double(bench::mbps(r.wbw_flat), 3).c_str());
     }
     std::fprintf(f, "\n  ],\n");
     bench::json_counters(f);
-    std::fprintf(f, "  \"schema\": 1\n}\n");
+    bench::json_histograms(f);
+    std::fprintf(f, "  \"schema\": 2\n}\n");
     std::fclose(f);
   }
 
+  bench::finish_trace(*trace_path);
   bench::print_fault_counters();
   bench::print_index_counters();
+  bench::print_histograms();
   bench::print_sim_counters();
   return 0;
 }

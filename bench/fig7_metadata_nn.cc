@@ -15,14 +15,18 @@ using namespace tio;
 using namespace tio::workloads;
 
 int main(int argc, char** argv) {
+  std::setlocale(LC_ALL, "");  // stdout tables honor the user's locale; JSON must not
   FlagSet flags("fig7_metadata_nn: N-N open/close times vs file count and MDS count");
   auto* procs = flags.add_i64("procs", 128, "processes creating files");
   auto* max_files = flags.add_i64("max-files", 8192, "largest total file count");
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
+  auto* trace_path = bench::add_trace_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  bench::start_trace(*trace_path);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
   const std::vector<std::size_t> mds_counts = {1, 3, 6, 9};
   const auto file_counts = bench::sweep(1024, static_cast<int>(*max_files));
@@ -73,7 +77,44 @@ int main(int argc, char** argv) {
                Table::num(plfs_cells[3][f].close, 3), Table::num(direct_cells[f].close, 3)});
   }
   b.print(std::cout);
+
+  if (!json_path->empty()) {
+    std::FILE* f = std::fopen(json_path->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open --json file: %s\n", json_path->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig7_metadata_nn\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"procs\": %lld, \"max_files\": %lld, \"fault_plan\": \"%s\"},\n",
+                 static_cast<long long>(*procs), static_cast<long long>(*max_files),
+                 plan_spec->c_str());
+    std::fprintf(f, "  \"rows\": [");
+    for (std::size_t f_i = 0; f_i < file_counts.size(); ++f_i) {
+      std::fprintf(f, "%s\n    {\"files\": %d,\n     \"open_s\": {", f_i ? "," : "",
+                   file_counts[f_i]);
+      for (std::size_t i = 0; i < mds_counts.size(); ++i) {
+        std::fprintf(f, "%s\"plfs%zu\": %s", i ? ", " : "", mds_counts[i],
+                     json_double(plfs_cells[i][f_i].open, 6).c_str());
+      }
+      std::fprintf(f, ", \"direct\": %s},\n     \"close_s\": {",
+                   json_double(direct_cells[f_i].open, 6).c_str());
+      for (std::size_t i = 0; i < mds_counts.size(); ++i) {
+        std::fprintf(f, "%s\"plfs%zu\": %s", i ? ", " : "", mds_counts[i],
+                     json_double(plfs_cells[i][f_i].close, 6).c_str());
+      }
+      std::fprintf(f, ", \"direct\": %s}}", json_double(direct_cells[f_i].close, 6).c_str());
+    }
+    std::fprintf(f, "\n  ],\n");
+    bench::json_counters(f);
+    bench::json_histograms(f);
+    std::fprintf(f, "  \"schema\": 2\n}\n");
+    std::fclose(f);
+  }
+
+  bench::finish_trace(*trace_path);
   bench::print_fault_counters();
+  bench::print_histograms();
   bench::print_sim_counters();
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace tio;
 using namespace tio::workloads;
 
 int main(int argc, char** argv) {
+  std::setlocale(LC_ALL, "");  // stdout tables honor the user's locale; JSON must not
   FlagSet flags("fig8_large_scale: Cielo-scale read and metadata results");
   auto* max_read_procs = flags.add_i64("max-read-procs", 65536, "largest read job (fig 8a)");
   auto* max_meta_procs = flags.add_i64("max-meta-procs", 32768, "largest storm (figs 8b-d)");
@@ -22,10 +23,12 @@ int main(int argc, char** argv) {
   auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
+  auto* trace_path = bench::add_trace_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  bench::start_trace(*trace_path);
   const std::uint64_t per_proc = static_cast<std::uint64_t>(*per_proc_mib) << 20;
   const std::uint64_t record = 256_KiB;
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
@@ -171,41 +174,47 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < read_rows.size(); ++i) {
       const auto& r = read_rows[i];
       std::fprintf(f,
-                   "%s\n    {\"procs\": %d, \"nn_direct\": %.3f, \"nn_plfs\": %.3f, "
-                   "\"n1_plfs\": %.3f}",
-                   i ? "," : "", r.procs, bench::mbps(r.nn_direct), bench::mbps(r.nn_plfs),
-                   bench::mbps(r.n1_plfs));
+                   "%s\n    {\"procs\": %d, \"nn_direct\": %s, \"nn_plfs\": %s, "
+                   "\"n1_plfs\": %s}",
+                   i ? "," : "", r.procs, json_double(bench::mbps(r.nn_direct), 3).c_str(),
+                   json_double(bench::mbps(r.nn_plfs), 3).c_str(),
+                   json_double(bench::mbps(r.n1_plfs), 3).c_str());
     }
     std::fprintf(f, "\n  ],\n");
     std::fprintf(f, "  \"fig8b_nn_open_s\": [");
     for (std::size_t i = 0; i < nn_rows.size(); ++i) {
       const auto& r = nn_rows[i];
       std::fprintf(f,
-                   "%s\n    {\"procs\": %d, \"plfs1\": %.6f, \"plfs10\": %.6f, \"plfs20\": %.6f}",
-                   i ? "," : "", r.procs, r.open_s[0], r.open_s[1], r.open_s[2]);
+                   "%s\n    {\"procs\": %d, \"plfs1\": %s, \"plfs10\": %s, \"plfs20\": %s}",
+                   i ? "," : "", r.procs, json_double(r.open_s[0], 6).c_str(),
+                   json_double(r.open_s[1], 6).c_str(), json_double(r.open_s[2], 6).c_str());
     }
     std::fprintf(f, "\n  ],\n");
     std::fprintf(f, "  \"fig8c_n1_open_s\": [");
     for (std::size_t i = 0; i < n1_rows.size(); ++i) {
       const auto& r = n1_rows[i];
-      std::fprintf(f, "%s\n    {\"procs\": %d, \"plfs1\": %.6f, \"plfs10\": %.6f}", i ? "," : "",
-                   r.procs, r.open_s[0], r.open_s[1]);
+      std::fprintf(f, "%s\n    {\"procs\": %d, \"plfs1\": %s, \"plfs10\": %s}", i ? "," : "",
+                   r.procs, json_double(r.open_s[0], 6).c_str(),
+                   json_double(r.open_s[1], 6).c_str());
     }
     std::fprintf(f, "\n  ],\n");
     std::fprintf(f, "  \"fig8d_nn_open_s\": [");
     for (std::size_t i = 0; i < direct_rows.size(); ++i) {
       const auto& r = direct_rows[i];
-      std::fprintf(f, "%s\n    {\"procs\": %d, \"direct\": %.6f, \"plfs10\": %.6f}", i ? "," : "",
-                   r.procs, r.direct_s, r.plfs_s);
+      std::fprintf(f, "%s\n    {\"procs\": %d, \"direct\": %s, \"plfs10\": %s}", i ? "," : "",
+                   r.procs, json_double(r.direct_s, 6).c_str(), json_double(r.plfs_s, 6).c_str());
     }
     std::fprintf(f, "\n  ],\n");
     bench::json_counters(f);
-    std::fprintf(f, "  \"schema\": 1\n}\n");
+    bench::json_histograms(f);
+    std::fprintf(f, "  \"schema\": 2\n}\n");
     std::fclose(f);
   }
 
+  bench::finish_trace(*trace_path);
   bench::print_fault_counters();
   bench::print_index_counters();
+  bench::print_histograms();
   bench::print_sim_counters();
   return 0;
 }

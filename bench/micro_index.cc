@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "plfs/index.h"
 #include "plfs/index_builder.h"
 #include "plfs/mount.h"
@@ -268,9 +269,11 @@ int main(int argc, char** argv) {
   bool want_btree = true;
   bool want_flat = true;
   bool want_pattern = true;
-  // Strip our flag before google-benchmark sees the command line.
+  std::string trace_path;
+  // Strip our flags before google-benchmark sees the command line.
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kFlag = "--index_backend=";
+    constexpr const char* kTrace = "--trace=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       tio::plfs::IndexBackend backend;
       if (!tio::plfs::parse_index_backend(argv[i] + std::strlen(kFlag), backend)) {
@@ -283,13 +286,30 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], kTrace, std::strlen(kTrace)) == 0) {
+      trace_path = argv[i] + std::strlen(kTrace);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
+  // The index microbenches are host-CPU work, so the trace holds whatever
+  // simulated spans ran (usually none) — the flag exists for tooling
+  // uniformity and always yields a valid, loadable document.
+  if (!trace_path.empty()) tio::trace::Tracer::instance().set_enabled(true);
   tio::plfs::register_build_benchmarks(want_btree, want_flat, want_pattern);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    if (!tio::trace::Tracer::instance().write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                 tio::trace::Tracer::instance().span_count(), trace_path.c_str());
+  }
   tio::plfs::print_size_report(want_btree, want_flat, want_pattern);
   const auto counters = tio::counter_snapshot("plfs.index");
   if (!counters.empty()) {

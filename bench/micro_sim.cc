@@ -5,6 +5,7 @@
 // Convenience flags (translated to google-benchmark's own):
 //   --repeat=N     run every benchmark N times (--benchmark_repetitions)
 //   --json=FILE    also write the JSON report to FILE (--benchmark_out)
+//   --trace=FILE   write Chrome trace-event JSON of the simulated spans
 // Results feed BENCH_sim.json; after the run the sim.engine.* counters are
 // printed so pool hit rates are visible next to the throughput numbers.
 #include <benchmark/benchmark.h>
@@ -17,6 +18,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "pfs/extent_map.h"
 #include "sim/engine.h"
 #include "sim/fairshare.h"
@@ -103,6 +105,7 @@ BENCHMARK(BM_ExtentMapAppendCoalesce)->Arg(10000);
 
 int main(int argc, char** argv) {
   // Translate the convenience flags, pass everything else through.
+  std::string trace_path;
   std::vector<std::string> rewritten = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -113,10 +116,13 @@ int main(int argc, char** argv) {
       rewritten.push_back("--benchmark_out_format=json");
       rewritten.push_back("--benchmark_out=" +
                           std::string(arg.substr(std::strlen("--json="))));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = std::string(arg.substr(std::strlen("--trace=")));
     } else {
       rewritten.emplace_back(arg);
     }
   }
+  if (!trace_path.empty()) tio::trace::Tracer::instance().set_enabled(true);
   std::vector<char*> bench_argv;
   bench_argv.reserve(rewritten.size());
   for (auto& s : rewritten) bench_argv.push_back(s.data());
@@ -125,6 +131,14 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    if (!tio::trace::Tracer::instance().write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                 tio::trace::Tracer::instance().span_count(), trace_path.c_str());
+  }
   auto counters = tio::counter_snapshot("sim.engine");
   const auto spills = tio::counter_snapshot("common.fn");
   counters.insert(counters.end(), spills.begin(), spills.end());

@@ -33,6 +33,9 @@ ctest --preset asan -j "$jobs" -R \
 echo "==> chaos suite under ASan/UBSan (fault injection, retry, degradation)"
 ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|RetryBudget|Timeout|Status)\.'
 
+echo "==> trace + stats + jsonfmt suites under ASan/UBSan"
+ctest --preset asan -j "$jobs" -R '^(TraceTest|Histograms|Series|Counters|Grouping|JsonDouble|JsonQuote)\.'
+
 echo "==> fig7 under the stress fault plan must exit clean"
 ./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress >/dev/null
 
@@ -46,5 +49,42 @@ echo "==> v1 -> v2 wire-format compat smoke"
 # decoding v1 containers through the v2-default read path byte-for-byte.
 ./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 --index_wire=v1 >/dev/null
 ./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 --index_wire=v2 >/dev/null
+
+echo "==> every bench --json / --trace output must be valid JSON"
+# A comma-decimal locale would corrupt printf-formatted floats; emitters go
+# through json_double, so output must parse even under e.g. de_DE. The
+# container may only ship C/POSIX — fall back gracefully when absent.
+json_locale="C"
+for cand in de_DE.UTF-8 de_DE.utf8 fr_FR.UTF-8 fr_FR.utf8; do
+  if locale -a 2>/dev/null | grep -qix "$cand"; then json_locale="$cand"; break; fi
+done
+echo "    (locale guard: LC_ALL=$json_locale)"
+out=build/ci_artifacts
+mkdir -p "$out"
+LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 \
+  --json="$out/fig4.json" --trace="$out/fig4_trace.json" >"$out/fig4_run1.txt" 2>/dev/null
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  --json="$out/fig7.json" --trace="$out/fig7_trace.json" >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/fig8_large_scale --max-read-procs 512 \
+  --max-meta-procs 256 --per-proc-mib 1 \
+  --json="$out/fig8.json" --trace="$out/fig8_trace.json" >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/micro_sim --trace="$out/micro_sim_trace.json" \
+  --benchmark_filter='BM_CoroutineHops/1000' >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/micro_index --trace="$out/micro_index_trace.json" \
+  --benchmark_filter='BM_IndexBuildStrided/64' >/dev/null 2>&1
+for f in "$out"/fig4.json "$out"/fig7.json "$out"/fig8.json \
+         "$out"/fig4_trace.json "$out"/fig7_trace.json "$out"/fig8_trace.json \
+         "$out"/micro_sim_trace.json "$out"/micro_index_trace.json; do
+  python3 -m json.tool "$f" >/dev/null || { echo "invalid JSON: $f"; exit 1; }
+done
+
+echo "==> fig4 trace: per-phase open breakdown must sum to the open window (1%)"
+python3 tools/check_trace.py "$out/fig4_trace.json"
+
+echo "==> fig4 stdout must be byte-identical across reruns"
+LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 \
+  --trace="$out/fig4_trace2.json" >"$out/fig4_run2.txt" 2>/dev/null
+cmp "$out/fig4_run1.txt" "$out/fig4_run2.txt"
+cmp "$out/fig4_trace.json" "$out/fig4_trace2.json"
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,56 @@
+// Locale-independent JSON fragment formatting.
+//
+// printf-family "%f" obeys LC_NUMERIC: under e.g. de_DE the decimal
+// separator becomes a comma, which silently corrupts emitted JSON. Every
+// JSON emitter in the tree formats floating-point values through
+// json_double (std::to_chars, which is locale-independent by
+// specification) instead of fprintf.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tio {
+
+// `v` as a fixed-point JSON number with `precision` digits after the
+// decimal point. Non-finite values (which JSON cannot represent) become
+// "null".
+inline std::string json_double(double v, int precision) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto r =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, precision);
+  if (r.ec != std::errc{}) return "null";  // absurd magnitude; not worth throwing
+  return std::string(buf, r.ptr);
+}
+
+// `s` as a double-quoted JSON string with the mandatory escapes applied.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace tio

@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -8,6 +9,22 @@
 #include <stdexcept>
 
 namespace tio {
+
+namespace {
+
+// Shared nearest-rank index computation: for n samples and p in [0, 100],
+// the nearest-rank of p is ceil(p/100 * n) (1-based), clamped to [1, n] so
+// p = 0 picks the first sorted sample and p = 100 the last — exact for
+// every n including n = 1.
+std::size_t nearest_rank_index(double p, std::size_t n) {
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::size_t>(std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return rank - 1;
+}
+
+}  // namespace
 
 double Series::sum() const {
   double s = 0;
@@ -22,7 +39,11 @@ double Series::mean() const {
 
 double Series::stddev() const {
   if (xs_.size() < 2) return 0.0;
-  const double m = mean();
+  // One pass for the sum (not mean(), which would re-walk the sample),
+  // one for the squared deviations.
+  double s = 0;
+  for (double x : xs_) s += x;
+  const double m = s / static_cast<double>(xs_.size());
   double acc = 0;
   for (double x : xs_) acc += (x - m) * (x - m);
   return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
@@ -40,31 +61,87 @@ double Series::max() const {
 
 double Series::percentile(double p) const {
   if (xs_.empty()) throw std::logic_error("Series::percentile on empty series");
-  std::vector<double> s = xs_;
-  std::sort(s.begin(), s.end());
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(s.size())));
-  return s[rank == 0 ? 0 : rank - 1];
+  if (!sorted_) {
+    sorted_cache_ = xs_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_ = true;
+  }
+  return sorted_cache_[nearest_rank_index(p, sorted_cache_.size())];
+}
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  samples_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+}
+
+std::int64_t Histogram::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+std::int64_t Histogram::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    sorted_cache_ = samples_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_ = true;
+  }
+  return sorted_cache_[nearest_rank_index(p, sorted_cache_.size())];
+}
+
+int Histogram::bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(v));
+}
+
+std::int64_t Histogram::bucket_min(int b) {
+  if (b <= 0) return 0;
+  if (b == 1) return 1;
+  return std::int64_t{1} << (b - 1);
+}
+
+void Histogram::reset() {
+  samples_.clear();
+  sorted_cache_.clear();
+  sorted_ = false;
+  buckets_.fill(0);
+  sum_ = 0;
+}
+
+bool name_in_group(std::string_view name, std::string_view prefix) {
+  if (prefix.empty()) return true;
+  if (!name.starts_with(prefix)) return false;
+  if (name.size() == prefix.size()) return true;
+  return prefix.back() == '.' || name[prefix.size()] == '.';
 }
 
 namespace {
 
-struct CounterRegistry {
+struct Registries {
   std::mutex mu;
-  // std::map: stable addresses for the Counter objects and sorted snapshots.
+  // std::map: stable addresses for the registered objects and sorted
+  // snapshots.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
 };
 
-CounterRegistry& registry() {
-  static auto* r = new CounterRegistry();  // leaked: counters outlive everything
+Registries& registry() {
+  static auto* r = new Registries();  // leaked: registrations outlive everything
   return *r;
 }
 
 }  // namespace
 
 Counter& counter(std::string_view name) {
-  CounterRegistry& r = registry();
+  Registries& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.counters.find(name);
   if (it == r.counters.end()) {
@@ -73,22 +150,47 @@ Counter& counter(std::string_view name) {
   return *it->second;
 }
 
+Histogram& histogram(std::string_view name) {
+  Registries& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot(std::string_view prefix) {
-  CounterRegistry& r = registry();
+  Registries& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   for (const auto& [name, c] : r.counters) {
-    if (name.size() >= prefix.size() && std::string_view(name).substr(0, prefix.size()) == prefix) {
-      out.emplace_back(name, c->value());
-    }
+    if (name_in_group(name, prefix)) out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> histogram_snapshot(
+    std::string_view prefix) {
+  Registries& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const auto& [name, h] : r.histograms) {
+    if (name_in_group(name, prefix)) out.emplace_back(name, h.get());
   }
   return out;
 }
 
 void reset_counters() {
-  CounterRegistry& r = registry();
+  Registries& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   for (auto& [name, c] : r.counters) c->reset();
+}
+
+void reset_histograms() {
+  Registries& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, h] : r.histograms) h->reset();
 }
 
 }  // namespace tio

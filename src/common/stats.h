@@ -1,8 +1,11 @@
 // Sample statistics for benchmark reporting (mean, stddev, percentiles),
-// plus a process-global named-counter registry for lightweight subsystem
-// instrumentation (index builds, cache hits, ...).
+// plus process-global named registries for lightweight subsystem
+// instrumentation: monotonically increasing counters (index builds, cache
+// hits, ...) and log-bucketed latency histograms (span durations recorded
+// by common/trace.h).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -15,7 +18,10 @@ namespace tio {
 
 class Series {
  public:
-  void add(double v) { xs_.push_back(v); }
+  void add(double v) {
+    xs_.push_back(v);
+    sorted_ = false;
+  }
   std::size_t count() const { return xs_.size(); }
   bool empty() const { return xs_.empty(); }
 
@@ -24,11 +30,18 @@ class Series {
   double stddev() const;  // sample stddev (n-1); 0 for n < 2
   double min() const;
   double max() const;
-  // Nearest-rank percentile, p in [0, 100].
+  // Nearest-rank percentile, p in [0, 100] (values outside are clamped).
+  // p = 0 returns the minimum, p = 100 the maximum. The sample is sorted
+  // lazily once and the order is cached across calls, so a p50/p90/p99
+  // report costs one sort, not three.
   double percentile(double p) const;
 
  private:
   std::vector<double> xs_;
+  // Sorted view of xs_, built on first percentile() call and reused until
+  // the next add() invalidates it.
+  mutable std::vector<double> sorted_cache_;
+  mutable bool sorted_ = false;
 };
 
 // A monotonically increasing event/byte counter. Counters are registered by
@@ -44,16 +57,79 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+// A latency histogram over nonnegative int64 samples (virtual-time
+// nanoseconds, in practice). Two views of the same data:
+//   * log2 buckets — bucket b counts samples v with bit_width(v) == b,
+//     i.e. v in [2^(b-1), 2^b); bucket 0 counts exact zeros. Constant
+//     space, used for shape displays.
+//   * the raw sample list — percentiles are exact (nearest-rank over the
+//     full sample), not bucket-interpolated; the sort is lazy and cached
+//     like Series.
+// Like counters, histograms live in a process-global registry for the
+// process lifetime, so holding a `Histogram&` across calls is always safe.
+class Histogram {
+ public:
+  // Number of log2 buckets: zeros + one per possible bit width.
+  static constexpr int kBuckets = 65;
+
+  // Records one sample; negative values clamp to zero.
+  void record(std::int64_t v);
+
+  std::uint64_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const;  // 0 when empty
+  std::int64_t max() const;  // 0 when empty
+  // Exact nearest-rank percentile, p in [0, 100] (clamped); 0 when empty.
+  std::int64_t percentile(double p) const;
+
+  // Log2-bucket index of a sample and the smallest sample mapping to
+  // bucket `b` (0 for the zero bucket).
+  static int bucket_of(std::int64_t v);
+  static std::int64_t bucket_min(int b);
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  void reset();
+
+ private:
+  std::vector<std::int64_t> samples_;
+  mutable std::vector<std::int64_t> sorted_cache_;
+  mutable bool sorted_ = false;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::int64_t sum_ = 0;
+};
+
 // Returns the process-global counter with this name, creating it on first
 // use. Dotted names ("plfs.index.entries_merged") group related counters.
 Counter& counter(std::string_view name);
 
+// The process-global histogram with this name, creating it on first use.
+// Names share the dotted-group convention with counters.
+Histogram& histogram(std::string_view name);
+
+// True when `name` belongs to the dot-separated group `prefix`: the empty
+// prefix matches everything, otherwise `name` must equal `prefix` or start
+// with `prefix` followed by a '.'. A prefix already ending in '.' is taken
+// as a raw prefix match. So "plfs.index" matches "plfs.index.builds" but
+// NOT "plfs.index_cache.hits"; use "plfs.index" + "plfs.index_cache" (or
+// the raw prefix "plfs.index") to cover both.
+bool name_in_group(std::string_view name, std::string_view prefix);
+
 // All registered counters as (name, value), sorted by name. Counters whose
-// value is zero are included; `prefix` filters to names starting with it.
+// value is zero are included; `prefix` filters by dot-boundary group (see
+// name_in_group).
 std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot(
+    std::string_view prefix = "");
+
+// All registered histograms as (name, histogram), sorted by name, filtered
+// by dot-boundary group like counter_snapshot. The pointers stay valid for
+// the process lifetime.
+std::vector<std::pair<std::string, const Histogram*>> histogram_snapshot(
     std::string_view prefix = "");
 
 // Zeroes every registered counter (the registry itself is never shrunk).
 void reset_counters();
+// Clears every registered histogram's samples and buckets.
+void reset_histograms();
 
 }  // namespace tio

@@ -1,0 +1,133 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/jsonfmt.h"
+
+namespace tio::trace {
+
+Tracer& Tracer::instance() {
+  static auto* t = new Tracer();  // leaked: spans may outlive static dtors
+  return *t;
+}
+
+void Tracer::clear() {
+  buffers_.clear();
+  pid_counter_ = 0;
+}
+
+std::uint32_t Tracer::intern(std::string_view s) {
+  // Linear scan: interning happens once per call site (SpanSite is static
+  // at the call site), and the set of distinct span names is small.
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == s) return i;
+  }
+  names_.emplace_back(s);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+Tracer::RankBuffer& Tracer::buffer_for(int rank) {
+  const auto idx = static_cast<std::size_t>(rank < 0 ? 0 : rank + 1);
+  if (idx >= buffers_.size()) buffers_.resize(idx + 1);
+  return buffers_[idx];
+}
+
+std::uint32_t Tracer::begin_span(int rank, std::uint32_t name_id, std::uint32_t cat_id,
+                                 std::uint32_t pid, std::int64_t start_ns) {
+  RankBuffer& buf = buffer_for(rank);
+  SpanRecord rec;
+  rec.name_id = name_id;
+  rec.cat_id = cat_id;
+  rec.start_ns = start_ns;
+  rec.pid = pid;
+  // Parent = innermost span of the same rank that is still open *on the
+  // same engine*: a fresh rig reuses rank numbers, and its spans must not
+  // nest under a finished rig's leftovers.
+  rec.parent = 0;
+  rec.depth = 0;
+  if (!buf.open.empty()) {
+    const SpanRecord& top = buf.spans[buf.open.back()];
+    if (top.pid == pid) {
+      rec.parent = buf.open.back() + 1;
+      rec.depth = top.depth + 1;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(buf.spans.size());
+  buf.spans.push_back(rec);
+  buf.open.push_back(index);
+  return index;
+}
+
+void Tracer::end_span(int rank, std::uint32_t record, std::int64_t end_ns) {
+  RankBuffer& buf = buffer_for(rank);
+  if (record >= buf.spans.size()) return;
+  buf.spans[record].end_ns = end_ns;
+  // Spans close LIFO per rank in well-formed code; tolerate out-of-order
+  // ends (e.g. a moved-from span) by erasing wherever the record sits.
+  for (auto it = buf.open.rbegin(); it != buf.open.rend(); ++it) {
+    if (*it == record) {
+      buf.open.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+std::size_t Tracer::span_count() const {
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b.spans.size();
+  return n;
+}
+
+const std::vector<SpanRecord>& Tracer::rank_spans(int rank) const {
+  static const std::vector<SpanRecord> empty;
+  const auto idx = static_cast<std::size_t>(rank < 0 ? 0 : rank + 1);
+  if (idx >= buffers_.size()) return empty;
+  return buffers_[idx].spans;
+}
+
+std::string Tracer::to_chrome_json() const {
+  // Complete ("ph":"X") events; ts/dur are microseconds by the format's
+  // definition, emitted with ns resolution. Locale-independent throughout.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& ev) {
+    if (!first) out += ",";
+    out += "\n";
+    out += ev;
+    first = false;
+  };
+  // Name the rank tracks once per (pid, tid) so Perfetto labels them.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, bool> named;
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    const std::uint32_t tid = static_cast<std::uint32_t>(b);
+    const std::string track =
+        b == 0 ? std::string("engine") : "rank " + std::to_string(b - 1);
+    for (const SpanRecord& rec : buffers_[b].spans) {
+      if (rec.end_ns < rec.start_ns) continue;  // never closed
+      if (!named[{rec.pid, tid}]) {
+        named[{rec.pid, tid}] = true;
+        emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(rec.pid) +
+             ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":" + json_quote(track) +
+             "}}");
+      }
+      emit("{\"name\":" + json_quote(names_[rec.name_id]) +
+           ",\"cat\":" + json_quote(names_[rec.cat_id]) +
+           ",\"ph\":\"X\",\"ts\":" + json_double(static_cast<double>(rec.start_ns) / 1e3, 3) +
+           ",\"dur\":" + json_double(static_cast<double>(rec.end_ns - rec.start_ns) / 1e3, 3) +
+           ",\"pid\":" + std::to_string(rec.pid) + ",\"tid\":" + std::to_string(tid) + "}");
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tio::trace

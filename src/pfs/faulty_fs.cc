@@ -19,6 +19,21 @@ bool is_global_index_path(std::string_view path) {
   return path.ends_with("/global.index");
 }
 
+// inject() runs on every simulated backend op; resolve its counters once
+// instead of paying the registry mutex + map lookup per op.
+struct FaultCounters {
+  Counter& ops = counter("plfs.fault.ops");
+  Counter& outage_hits = counter("plfs.fault.outage_hits");
+  Counter& spikes = counter("plfs.fault.spikes");
+  Counter& io_error = counter("plfs.fault.io_error");
+  Counter& busy = counter("plfs.fault.busy");
+  Counter& stale = counter("plfs.fault.stale");
+};
+FaultCounters& fault_counters() {
+  static FaultCounters c;
+  return c;
+}
+
 }  // namespace
 
 std::string_view op_class_name(OpClass c) {
@@ -49,9 +64,10 @@ bool FaultyFs::in_outage(const std::string& path) const {
 }
 
 sim::Task<Status> FaultyFs::inject(OpClass c, const std::string& path) {
-  counter("plfs.fault.ops").add(1);
+  FaultCounters& fc = fault_counters();
+  fc.ops.add(1);
   if (!plan_.outages.empty() && in_outage(path)) {
-    counter("plfs.fault.outage_hits").add(1);
+    fc.outage_hits.add(1);
     co_return error(Errc::busy, "injected: MDS outage on " + path);
   }
   const FaultSpec& spec = plan_.spec(c);
@@ -59,21 +75,21 @@ sim::Task<Status> FaultyFs::inject(OpClass c, const std::string& path) {
   // Draws happen in a fixed order (spike, io, busy, stale) so the consumed
   // stream depends only on the op sequence, not on which rates are set.
   if (rng_.chance(spec.p_spike)) {
-    counter("plfs.fault.spikes").add(1);
+    fc.spikes.add(1);
     co_await base_.engine().sleep(spec.spike);
   }
   if (rng_.chance(spec.p_io_error)) {
-    counter("plfs.fault.io_error").add(1);
+    fc.io_error.add(1);
     co_return error(Errc::io_error, std::string("injected: transient EIO on ") +
                                         std::string(op_class_name(c)));
   }
   if (rng_.chance(spec.p_busy)) {
-    counter("plfs.fault.busy").add(1);
+    fc.busy.add(1);
     co_return error(Errc::busy, std::string("injected: transient EBUSY on ") +
                                     std::string(op_class_name(c)));
   }
   if (rng_.chance(spec.p_stale)) {
-    counter("plfs.fault.stale").add(1);
+    fc.stale.add(1);
     co_return error(Errc::stale, std::string("injected: transient ESTALE on ") +
                                      std::string(op_class_name(c)));
   }
@@ -163,7 +179,7 @@ sim::Task<Status> FaultyFs::unlink(IoCtx ctx, std::string path) {
 sim::Task<Status> FaultyFs::rename(IoCtx ctx, std::string from, std::string to) {
   TIO_CO_RETURN_IF_ERROR(co_await inject(OpClass::meta, from));
   if (in_outage(to)) {
-    counter("plfs.fault.outage_hits").add(1);
+    fault_counters().outage_hits.add(1);
     co_return error(Errc::busy, "injected: MDS outage on " + to);
   }
   co_return co_await base_.rename(ctx, std::move(from), std::move(to));

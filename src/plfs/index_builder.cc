@@ -79,9 +79,12 @@ std::vector<IndexEntry> IndexBuilder::merged_run() const {
     }
   }
 
-  counter("plfs.index.runs_merged").add(runs_.size());
-  counter("plfs.index.entries_merged").add(out.size());
-  counter("plfs.index.build_ns").add(static_cast<std::uint64_t>(host_now_ns() - t0));
+  static Counter& runs_merged = counter("plfs.index.runs_merged");
+  static Counter& entries_merged = counter("plfs.index.entries_merged");
+  static Counter& build_ns = counter("plfs.index.build_ns");
+  runs_merged.add(runs_.size());
+  entries_merged.add(out.size());
+  build_ns.add(static_cast<std::uint64_t>(host_now_ns() - t0));
   return out;
 }
 
@@ -100,8 +103,10 @@ IndexPtr IndexBuilder::build() const {
       built = std::make_shared<const PatternIndex>(PatternIndex::from_sorted(run, compress_));
       break;
   }
-  counter("plfs.index.builds").add(1);
-  counter("plfs.index.build_ns").add(static_cast<std::uint64_t>(host_now_ns() - t0));
+  static Counter& builds = counter("plfs.index.builds");
+  static Counter& build_ns = counter("plfs.index.build_ns");
+  builds.add(1);
+  build_ns.add(static_cast<std::uint64_t>(host_now_ns() - t0));
   return built;
 }
 

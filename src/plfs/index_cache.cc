@@ -18,12 +18,14 @@ IndexCache::Entry* IndexCache::find(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
-    counter("plfs.index_cache.misses").add(1);
+    static Counter& c_misses = counter("plfs.index_cache.misses");
+    c_misses.add(1);
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   ++stats_.hits;
-  counter("plfs.index_cache.hits").add(1);
+  static Counter& c_hits = counter("plfs.index_cache.hits");
+  c_hits.add(1);
   return &it->second;
 }
 
@@ -65,7 +67,8 @@ void IndexCache::insert(const std::string& key, const std::string& container, En
   stats_.bytes += entry.bytes;
   ++stats_.entries;
   ++stats_.insertions;
-  counter("plfs.index_cache.insertions").add(1);
+  static Counter& c_insertions = counter("plfs.index_cache.insertions");
+  c_insertions.add(1);
   by_container_[container].push_back(key);
   entries_.emplace(key, std::move(entry));
   evict_to_budget();
@@ -91,14 +94,16 @@ void IndexCache::evict_to_budget() {
     const std::string victim = lru_.back();
     erase_key(victim);
     ++stats_.evictions;
-    counter("plfs.index_cache.evictions").add(1);
+    static Counter& c_evictions = counter("plfs.index_cache.evictions");
+    c_evictions.add(1);
   }
 }
 
 void IndexCache::invalidate(const std::string& container) {
   ++generations_[container];
   ++stats_.invalidations;
-  counter("plfs.index_cache.invalidations").add(1);
+  static Counter& c_invalidations = counter("plfs.index_cache.invalidations");
+  c_invalidations.add(1);
   auto it = by_container_.find(container);
   if (it == by_container_.end()) return;
   const std::vector<std::string> keys = it->second;  // erase_key edits the list

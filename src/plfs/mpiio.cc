@@ -3,11 +3,33 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "plfs/pattern.h"
 
 namespace tio::plfs {
 
 namespace {
+
+// Open-phase spans, tiling every rank's aggregation so the Fig. 4 breakdown
+// (index read / merge / exchange / broadcast) can be recovered from a trace
+// by summing spans per rank. A phase may open more than once on one rank
+// (e.g. "exchange" resumes after the leader merge).
+const trace::SpanSite& open_read_site() {
+  static const trace::SpanSite site("plfs.open", "plfs.open.index_read");
+  return site;
+}
+const trace::SpanSite& open_merge_site() {
+  static const trace::SpanSite site("plfs.open", "plfs.open.merge");
+  return site;
+}
+const trace::SpanSite& open_exchange_site() {
+  static const trace::SpanSite site("plfs.open", "plfs.open.exchange");
+  return site;
+}
+const trace::SpanSite& open_broadcast_site() {
+  static const trace::SpanSite site("plfs.open", "plfs.open.broadcast");
+  return site;
+}
 
 // Group size for Parallel Index Read: configured, else ~sqrt(n) so the
 // leader tier and the member tier are balanced.
@@ -40,12 +62,17 @@ sim::Task<Result<IndexPtr>> aggregate_flatten(Plfs& plfs, mpi::Comm& comm,
       index = std::move(read.value());
       bytes = index->serialized_bytes(plfs.mount().index_wire);
     } else {
-      counter("plfs.degrade.index_fallback").add(1);
+      static Counter& index_fallback = counter("plfs.degrade.index_fallback");
+      index_fallback.add(1);
       bytes = kFlattenUnusable;
     }
   }
+  // Non-root ranks spend the whole open inside this broadcast (waiting for
+  // the root's read is part of receiving the index).
+  trace::Span bcast_span(comm.engine(), open_broadcast_site(), ctx.rank);
   bytes = co_await comm.bcast(0, bytes, 8);
   if (bytes == kFlattenUnusable) {
+    bcast_span.end();
     co_return co_await aggregate_parallel(plfs, comm, logical);
   }
   index = co_await comm.bcast(0, std::move(index), bytes);
@@ -59,7 +86,9 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
 
   // 1. One process enumerates the index logs and broadcasts the work list.
   // (The byte count is broadcast first so every relaying rank charges the
-  // correct transfer volume.)
+  // correct transfer volume.) Discovery counts as "index read" in the
+  // phase breakdown: it is the metadata half of reading the index.
+  trace::Span read_span(comm.engine(), open_read_site(), ctx.rank);
   std::vector<Plfs::IndexLogRef> logs;
   if (comm.rank() == 0) {
     auto listed = co_await plfs.list_index_logs(ctx, logical);
@@ -80,8 +109,10 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
     my_runs.add_run(std::move(entries.value()));
   }
   std::vector<IndexEntry> mine = my_runs.merged_run();
+  read_span.end();
 
   // 3. Two-level aggregation: members -> group leader, leaders <-> leaders.
+  trace::Span exchange_span(comm.engine(), open_exchange_site(), ctx.rank);
   const auto gsize = static_cast<int>(group_size_for(plfs.mount(), n));
   mpi::Comm group = co_await comm.split(comm.rank() / gsize, comm.rank());
   const bool leader = group.rank() == 0;
@@ -109,8 +140,15 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
     auto all_runs = co_await leaders.allgather(std::move(group_run), run_bytes);
     std::size_t total = 0;
     for (const auto& r : all_runs) total += r->size();
-    co_await comm.engine().sleep(plfs.mount().index_cpu_per_entry *
-                                 static_cast<std::int64_t>(total));
+    // The merge CPU sits between two exchange collectives: close the
+    // exchange span across it so the phases stay disjoint.
+    exchange_span.end();
+    {
+      trace::Span merge_span(comm.engine(), open_merge_site(), ctx.rank);
+      co_await comm.engine().sleep(plfs.mount().index_cpu_per_entry *
+                                   static_cast<std::int64_t>(total));
+    }
+    exchange_span = trace::Span(comm.engine(), open_exchange_site(), ctx.rank);
     if (leaders.rank() == 0) {
       IndexBuilder global_builder(plfs.mount().index_backend);
       for (const auto& r : all_runs) global_builder.add_run(r);
@@ -119,8 +157,10 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
     // Zero-byte structure share among leaders (each already paid the merge).
     index = co_await leaders.bcast(0, std::move(index), 0);
   }
+  exchange_span.end();
 
   // 4. Leaders broadcast the merged global index within their group.
+  trace::Span bcast_span(comm.engine(), open_broadcast_site(), ctx.rank);
   const std::uint64_t idx_bytes = leader ? index->serialized_bytes(wire) : 0;
   try {
     const std::uint64_t bytes = co_await group.bcast(0, idx_bytes, 8);
@@ -176,13 +216,18 @@ sim::Task<Status> MpiFile::close_write(bool flatten) {
   // Index Flatten only proceeds when every writer buffered at most the
   // threshold's worth of entries (the paper's condition).
   if (flatten) {
+    static const trace::SpanSite kGatherSite("plfs.close", "plfs.close.flatten_gather");
+    static const trace::SpanSite kWriteSite("plfs.close", "plfs.close.flatten_write");
+    trace::Span gather_span(comm_->engine(), kGatherSite, comm_->global_rank());
     const std::uint64_t my_entries = write_->entries().size();
     const std::uint64_t max_entries = co_await comm_->allreduce(
         my_entries, 8, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
     if (max_entries <= plfs_->mount().flatten_threshold) {
       const std::uint64_t bytes = encoded_size(write_->entries(), plfs_->mount().index_wire);
       auto pools = co_await comm_->gather(0, write_->entries(), bytes);
+      gather_span.end();
       if (comm_->rank() == 0) {
+        trace::Span write_span(comm_->engine(), kWriteSite, comm_->global_rank());
         // Each writer's entry pool is already a timestamp-sorted run.
         IndexBuilder builder(plfs_->mount().index_backend);
         for (auto& p : pools) builder.add_entries(std::move(p));
@@ -196,7 +241,8 @@ sim::Task<Status> MpiFile::close_write(bool flatten) {
           // copy (best-effort removal of any partial file — readers that
           // still find a torn one are caught by the integrity trailer) and
           // let the close finish clean.
-          counter("plfs.degrade.flatten_abort").add(1);
+          static Counter& flatten_abort = counter("plfs.degrade.flatten_abort");
+          flatten_abort.add(1);
           const Status removed = co_await plfs_->backend_fs().unlink(
               ctx(), plfs_->layout(logical_).global_index_path());
           (void)removed;

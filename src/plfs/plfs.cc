@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/strutil.h"
+#include "common/trace.h"
 #include "plfs/pattern.h"
 #include "sim/timeout.h"
 
@@ -15,6 +16,34 @@ namespace tio::plfs {
 using pfs::OpenFlags;
 
 namespace {
+
+// Hot-path counters, resolved once: counter() takes the registry mutex and
+// a map lookup, which the stats.h contract lets us hoist (counters are
+// process-lifetime). These run once per backend op / retry / index batch.
+struct RetryCounters {
+  Counter& timeouts = counter("plfs.retry.timeouts");
+  Counter& success_after_retry = counter("plfs.retry.success_after_retry");
+  Counter& exhausted = counter("plfs.retry.exhausted");
+  Counter& budget_exhausted = counter("plfs.retry.budget_exhausted");
+  Counter& attempts = counter("plfs.retry.attempts");
+  Counter& backoff_ns = counter("plfs.retry.backoff_ns");
+  Counter& short_write_resumed = counter("plfs.retry.short_write_resumed");
+};
+RetryCounters& retry_counters() {
+  static RetryCounters c;
+  return c;
+}
+
+// Span sites for the retry layer: every backoff sleep and every timed-out
+// attempt becomes a span (and a histogram sample).
+const trace::SpanSite& backoff_site() {
+  static const trace::SpanSite site("plfs.retry", "plfs.retry.backoff");
+  return site;
+}
+const trace::SpanSite& timeout_site() {
+  static const trace::SpanSite site("plfs.retry", "plfs.retry.timeout");
+  return site;
+}
 
 // Jitter stream key for an op on a path: every path retries on its own
 // deterministic schedule, spreading thundering herds.
@@ -48,15 +77,21 @@ Plfs::Plfs(pfs::FsClient& fs, PlfsMount mount)
 }
 
 template <typename MakeOp>
-auto Plfs::with_retry(std::uint64_t op_key, MakeOp make_op) -> decltype(make_op()) {
+auto Plfs::with_retry(pfs::IoCtx ctx, std::uint64_t op_key, MakeOp make_op)
+    -> decltype(make_op()) {
   using R = typename task_value<decltype(make_op())>::type;
   const RetryPolicy& policy = mount_.retry;
+  RetryCounters& rc = retry_counters();
   for (int attempt = 0;; ++attempt) {
     std::optional<R> result;
     if (policy.op_timeout > Duration::zero()) {
+      const std::int64_t t0 = engine().now().to_ns();
       result = co_await sim::with_timeout(engine(), policy.op_timeout, make_op());
       if (!result.has_value()) {
-        counter("plfs.retry.timeouts").add(1);
+        rc.timeouts.add(1);
+        // The attempt's cost is only interesting once we know it timed out,
+        // so the span is recorded retroactively from the captured start.
+        trace::record_span(engine(), timeout_site(), ctx.rank, t0);
         result.emplace(error(Errc::busy, "op timed out (attempt abandoned)"));
       }
     } else {
@@ -64,22 +99,25 @@ auto Plfs::with_retry(std::uint64_t op_key, MakeOp make_op) -> decltype(make_op(
     }
     const Status st = status_of(*result);
     if (st.ok()) {
-      if (attempt > 0) counter("plfs.retry.success_after_retry").add(1);
+      if (attempt > 0) rc.success_after_retry.add(1);
       co_return std::move(*result);
     }
     if (!st.is_transient()) co_return std::move(*result);
     if (attempt + 1 >= policy.max_attempts) {
-      counter("plfs.retry.exhausted").add(1);
+      rc.exhausted.add(1);
       co_return std::move(*result);
     }
     if (!budget_.try_consume()) {
-      counter("plfs.retry.budget_exhausted").add(1);
+      rc.budget_exhausted.add(1);
       co_return std::move(*result);
     }
     const Duration wait = policy.backoff(attempt, op_key);
-    counter("plfs.retry.attempts").add(1);
-    counter("plfs.retry.backoff_ns").add(static_cast<std::uint64_t>(wait.to_ns()));
-    co_await engine().sleep(wait);
+    rc.attempts.add(1);
+    rc.backoff_ns.add(static_cast<std::uint64_t>(wait.to_ns()));
+    {
+      trace::Span backoff(engine(), backoff_site(), ctx.rank);
+      co_await engine().sleep(wait);
+    }
   }
 }
 
@@ -87,6 +125,7 @@ sim::Task<Result<std::uint64_t>> Plfs::write_fully(pfs::IoCtx ctx, pfs::FileId f
                                                    std::uint64_t offset, DataView data,
                                                    std::uint64_t op_key) {
   const RetryPolicy& policy = mount_.retry;
+  RetryCounters& rc = retry_counters();
   const std::uint64_t n = data.size();
   if (n == 0) co_return std::uint64_t{0};
   std::uint64_t done = 0;
@@ -96,30 +135,33 @@ sim::Task<Result<std::uint64_t>> Plfs::write_fully(pfs::IoCtx ctx, pfs::FileId f
     if (wrote.ok()) {
       done += *wrote;
       if (done >= n) {
-        if (retried) counter("plfs.retry.success_after_retry").add(1);
+        if (retried) rc.success_after_retry.add(1);
         co_return n;
       }
       // A torn write is progress, not failure: resume after the prefix that
       // landed, and reset the attempt clock so completion is guaranteed for
       // any finite tear sequence.
-      counter("plfs.retry.short_write_resumed").add(1);
+      rc.short_write_resumed.add(1);
       attempt = 0;
       continue;
     }
     const Status st = wrote.status();
     if (!st.is_transient()) co_return st;
     if (attempt + 1 >= policy.max_attempts) {
-      counter("plfs.retry.exhausted").add(1);
+      rc.exhausted.add(1);
       co_return st;
     }
     if (!budget_.try_consume()) {
-      counter("plfs.retry.budget_exhausted").add(1);
+      rc.budget_exhausted.add(1);
       co_return st;
     }
     const Duration wait = policy.backoff(attempt, op_key);
-    counter("plfs.retry.attempts").add(1);
-    counter("plfs.retry.backoff_ns").add(static_cast<std::uint64_t>(wait.to_ns()));
-    co_await engine().sleep(wait);
+    rc.attempts.add(1);
+    rc.backoff_ns.add(static_cast<std::uint64_t>(wait.to_ns()));
+    {
+      trace::Span backoff(engine(), backoff_site(), ctx.rank);
+      co_await engine().sleep(wait);
+    }
     retried = true;
     ++attempt;
   }
@@ -127,43 +169,43 @@ sim::Task<Result<std::uint64_t>> Plfs::write_fully(pfs::IoCtx ctx, pfs::FileId f
 
 sim::Task<Result<pfs::FileId>> Plfs::open_retried(pfs::IoCtx ctx, std::string path,
                                                   OpenFlags flags) {
-  co_return co_await with_retry(path_op_key(path),
+  co_return co_await with_retry(ctx, path_op_key(path),
                                 [&] { return fs_.open(ctx, path, flags); });
 }
 
 sim::Task<Status> Plfs::close_retried(pfs::IoCtx ctx, pfs::FileId fd) {
-  co_return co_await with_retry(splitmix64(fd), [&] { return fs_.close(ctx, fd); });
+  co_return co_await with_retry(ctx, splitmix64(fd), [&] { return fs_.close(ctx, fd); });
 }
 
 sim::Task<Result<FragmentList>> Plfs::read_retried(pfs::IoCtx ctx, pfs::FileId fd,
                                                    std::uint64_t offset, std::uint64_t len) {
-  co_return co_await with_retry(splitmix64(fd ^ offset),
+  co_return co_await with_retry(ctx, splitmix64(fd ^ offset),
                                 [&] { return fs_.read(ctx, fd, offset, len); });
 }
 
 sim::Task<Status> Plfs::mkdir_retried(pfs::IoCtx ctx, std::string path) {
-  co_return co_await with_retry(path_op_key(path) ^ 1,
+  co_return co_await with_retry(ctx, path_op_key(path) ^ 1,
                                 [&] { return fs_.mkdir(ctx, path); });
 }
 
 sim::Task<Status> Plfs::rmdir_retried(pfs::IoCtx ctx, std::string path) {
-  co_return co_await with_retry(path_op_key(path) ^ 2,
+  co_return co_await with_retry(ctx, path_op_key(path) ^ 2,
                                 [&] { return fs_.rmdir(ctx, path); });
 }
 
 sim::Task<Status> Plfs::unlink_retried(pfs::IoCtx ctx, std::string path) {
-  co_return co_await with_retry(path_op_key(path) ^ 3,
+  co_return co_await with_retry(ctx, path_op_key(path) ^ 3,
                                 [&] { return fs_.unlink(ctx, path); });
 }
 
 sim::Task<Result<pfs::StatInfo>> Plfs::stat_retried(pfs::IoCtx ctx, std::string path) {
-  co_return co_await with_retry(path_op_key(path) ^ 4,
+  co_return co_await with_retry(ctx, path_op_key(path) ^ 4,
                                 [&] { return fs_.stat(ctx, path); });
 }
 
 sim::Task<Result<std::vector<pfs::DirEntry>>> Plfs::readdir_retried(pfs::IoCtx ctx,
                                                                     std::string path) {
-  co_return co_await with_retry(path_op_key(path) ^ 5,
+  co_return co_await with_retry(ctx, path_op_key(path) ^ 5,
                                 [&] { return fs_.readdir(ctx, path); });
 }
 
@@ -235,9 +277,16 @@ sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
   const std::size_t home = lay.subdir_backend(k);
   std::size_t placed = home;
   Status subdir_st = Status::Ok();
+  // Per-probe spans separate the cheap common case (home MDS answers) from
+  // ring-walk failover probes in the Fig. 7 create-path traces.
+  static const trace::SpanSite kHomeSite("plfs.create", "plfs.create.subdir_home");
+  static const trace::SpanSite kFailoverSite("plfs.create", "plfs.create.subdir_failover");
   for (std::size_t j = 0; j < lay.num_backends(); ++j) {
     const std::size_t b = (home + j) % lay.num_backends();
-    subdir_st = co_await ensure_subdir_on(ctx, lay, k, b);
+    {
+      trace::Span probe(engine(), j == 0 ? kHomeSite : kFailoverSite, rank);
+      subdir_st = co_await ensure_subdir_on(ctx, lay, k, b);
+    }
     if (subdir_st.ok()) {
       placed = b;
       break;
@@ -246,7 +295,8 @@ sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
   }
   TIO_CO_RETURN_IF_ERROR(subdir_st);
   if (placed != home) {
-    counter("plfs.degrade.mds_failover").add(1);
+    static Counter& mds_failover = counter("plfs.degrade.mds_failover");
+    mds_failover.add(1);
     auto marker = co_await open_retried(ctx, lay.stale_marker_path(k), OpenFlags::wr_create());
     if (!marker.ok()) co_return marker.status();
     TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *marker));
@@ -290,6 +340,8 @@ sim::Task<Status> WriteHandle::write(std::uint64_t logical_offset, DataView data
 
 sim::Task<Status> WriteHandle::flush_index() {
   if (flushed_ == entries_.size()) co_return Status::Ok();
+  static const trace::SpanSite kFlushSite("plfs.write", "plfs.write.index_flush");
+  trace::Span flush_span(plfs_->engine(), kFlushSite, rank_);
   // Each flush batch becomes one self-contained wire unit (a v2 segment or
   // a run of v1 records), so the log stays append-only and readable after
   // any prefix of flushes.
@@ -297,7 +349,8 @@ sim::Task<Status> WriteHandle::flush_index() {
                                       entries_.end());
   std::vector<std::byte> buf = encode_entries(batch, plfs_->mount_.index_wire);
   const std::uint64_t n = buf.size();
-  counter("plfs.index.log_bytes_written").add(n);
+  static Counter& log_bytes_written = counter("plfs.index.log_bytes_written");
+  log_bytes_written.add(n);
   TIO_CO_ASSIGN_OR_RETURN(std::uint64_t written,
                           co_await plfs_->write_fully(ctx_, index_fd_, index_offset_,
                                                       DataView::literal(std::move(buf)),
@@ -379,7 +432,8 @@ sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> Plfs::read_ind
   if (!data.ok()) co_return data.status();
   const std::string container = path_normalize(logical);
   const std::uint64_t gen = cache_.generation(container);
-  counter("plfs.index.log_bytes_read").add(data->size());
+  static Counter& log_bytes_read = counter("plfs.index.log_bytes_read");
+  log_bytes_read.add(data->size());
   auto cached = cache_.get_log(container, path);
   if (cached == nullptr) {
     auto entries = decode_entries(*data);  // auto-detects wire v1 / v2
@@ -400,6 +454,11 @@ sim::Task<Result<std::shared_ptr<const std::vector<IndexEntry>>>> Plfs::read_ind
 sim::Task<Result<IndexPtr>> Plfs::build_index_serial(pfs::IoCtx ctx, std::string logical) {
   const std::string container = path_normalize(logical);
   const std::uint64_t gen = cache_.generation(container);
+  // Phase spans mirror Fig. 4's open-time breakdown: "index_read" covers
+  // discovery plus every per-log read, "merge" the CPU merge of the runs.
+  static const trace::SpanSite kReadSite("plfs.open", "plfs.open.index_read");
+  static const trace::SpanSite kMergeSite("plfs.open", "plfs.open.merge");
+  trace::Span read_span(engine(), kReadSite, ctx.rank);
   TIO_CO_ASSIGN_OR_RETURN(std::vector<IndexLogRef> logs, co_await list_index_logs(ctx, logical));
   IndexBuilder builder(mount_.index_backend);
   for (const auto& log : logs) {
@@ -407,6 +466,8 @@ sim::Task<Result<IndexPtr>> Plfs::build_index_serial(pfs::IoCtx ctx, std::string
                             co_await read_index_log(ctx, logical, log.path));
     builder.add_run(std::move(entries));
   }
+  read_span.end();
+  trace::Span merge_span(engine(), kMergeSite, ctx.rank);
   co_await engine().sleep(mount_.index_cpu_per_entry *
                           static_cast<std::int64_t>(builder.total_entries()));
   IndexPtr index = cache_.get_index(container);
@@ -428,11 +489,14 @@ sim::Task<Result<IndexPtr>> Plfs::read_global_index(pfs::IoCtx ctx, const std::s
   const std::string container = path_normalize(logical);
   const std::string path = lay.global_index_path();
   const std::uint64_t gen = cache_.generation(container);
+  static const trace::SpanSite kReadSite("plfs.open", "plfs.open.index_read");
+  trace::Span read_span(engine(), kReadSite, ctx.rank);
   TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await open_retried(ctx, path, OpenFlags::ro()));
   auto data = co_await read_retried(ctx, fd, 0, std::numeric_limits<std::int64_t>::max());
   TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, fd));
   if (!data.ok()) co_return data.status();
-  counter("plfs.index.global_bytes_read").add(data->size());
+  static Counter& global_bytes_read = counter("plfs.index.global_bytes_read");
+  global_bytes_read.add(data->size());
   auto cached = cache_.get_log(container, path);
   if (cached == nullptr) {
     auto entries = deserialize_trailed_entries(*data);
@@ -455,7 +519,8 @@ sim::Task<Status> Plfs::write_global_index(pfs::IoCtx ctx, const std::string& lo
   const std::string path = lay.global_index_path();
   TIO_CO_ASSIGN_OR_RETURN(pfs::FileId fd, co_await open_retried(ctx, path, OpenFlags::wr_trunc()));
   auto bytes = serialize_entries_with_trailer(index.to_entries(), mount_.index_wire);
-  counter("plfs.index.global_bytes_written").add(bytes.size());
+  static Counter& global_bytes_written = counter("plfs.index.global_bytes_written");
+  global_bytes_written.add(bytes.size());
   auto written = co_await write_fully(ctx, fd, 0, DataView::literal(std::move(bytes)),
                                       path_op_key(path));
   const Status closed = co_await close_retried(ctx, fd);

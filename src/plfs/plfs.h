@@ -108,9 +108,11 @@ class Plfs {
   // transient failures back off with deterministic jitter keyed by op_key
   // until attempts or the instance-wide budget run out. A nonzero
   // op_timeout additionally races each attempt against a virtual-time
-  // deadline (the in-flight attempt is abandoned, not cancelled).
+  // deadline (the in-flight attempt is abandoned, not cancelled). The ctx
+  // attributes backoff/timeout trace spans to the issuing rank.
   template <typename MakeOp>
-  auto with_retry(std::uint64_t op_key, MakeOp make_op) -> decltype(make_op());
+  auto with_retry(pfs::IoCtx ctx, std::uint64_t op_key, MakeOp make_op)
+      -> decltype(make_op());
   // Writes all of `data`, resuming after transient failures and short
   // (torn) writes; progress resets the attempt counter.
   sim::Task<Result<std::uint64_t>> write_fully(pfs::IoCtx ctx, pfs::FileId fd,

@@ -115,10 +115,18 @@ bool Engine::step() {
 }
 
 std::uint64_t Engine::run() {
+  // One span per run(): the engine-level timeline every rank-level span
+  // nests inside when a trace is being collected. Per-event dispatch spans
+  // are deliberately absent — they are zero-length in virtual time and
+  // their volume (millions per run) would dwarf everything else; event
+  // dispatch is observable through sim.engine.events and this run span.
+  static const trace::SpanSite kRunSite("sim.engine", "sim.engine.run");
+  trace::Span run_span(*this, kRunSite);
   const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t start = events_processed_;
   while (step()) {
   }
+  run_span.end();
   const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - wall_start)
                            .count();

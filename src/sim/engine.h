@@ -22,6 +22,7 @@
 #include "common/dheap.h"
 #include "common/function.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "common/units.h"
 #include "sim/task.h"
 
@@ -29,7 +30,8 @@ namespace tio::sim {
 
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+  explicit Engine(std::uint64_t seed = 0x5eed)
+      : trace_pid_(trace::Tracer::instance().next_pid()), rng_(seed) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -82,6 +84,10 @@ class Engine {
 
   Rng& rng() { return rng_; }
   Rng fork_rng(std::uint64_t stream) const { return rng_.fork(stream); }
+
+  // Trace "process" id of this engine: each Engine is its own process in
+  // exported Chrome traces, so successive rigs don't overlap timelines.
+  std::uint32_t trace_pid() const { return trace_pid_; }
 
   // Internal: called by the detached-process driver.
   void notify_process_finished() { --processes_alive_; }
@@ -140,6 +146,7 @@ class Engine {
   QueueStats stats_;
   QueueStats published_;             // stats already flushed to the registry
   std::uint64_t published_events_ = 0;
+  std::uint32_t trace_pid_ = 0;
   Rng rng_;
 };
 

@@ -37,7 +37,18 @@ void FairShareChannel::advance_progress() {
 
 void FairShareChannel::start_transfer(std::uint64_t bytes, std::coroutine_handle<> h) {
   advance_progress();
-  active_.push(Flow{progress_ + static_cast<double>(bytes), seq_++, h});
+  // Fair-share waits become trace spans on the engine track (the channel
+  // does not know which rank awaits it). Trace-only: per-transfer volume
+  // would swamp the histogram registry on full-scale runs.
+  static const trace::SpanSite kWaitSite("sim.fairshare", "sim.fairshare.wait",
+                                         /*with_histogram=*/false);
+  std::uint32_t rec = trace::kNoRecord;
+  trace::Tracer& tracer = trace::Tracer::instance();
+  if (tracer.enabled()) {
+    rec = tracer.begin_span(-1, kWaitSite.name_id, kWaitSite.cat_id, engine_.trace_pid(),
+                            engine_.now().to_ns());
+  }
+  active_.push(Flow{progress_ + static_cast<double>(bytes), seq_++, h, rec});
   ++stats_.transfers;
   stats_.bytes += bytes;
   stats_.max_concurrency = std::max(stats_.max_concurrency, active_.size());
@@ -62,6 +73,9 @@ void FairShareChannel::on_completion_event(std::uint64_t generation) {
   // be handed off straight out of the heap — no scratch vector per event.
   while (!active_.empty() && active_.top().finish_progress <= progress_ + kSlackBytes) {
     const auto h = active_.top().handle;
+    if (active_.top().trace_rec != trace::kNoRecord) {
+      trace::Tracer::instance().end_span(-1, active_.top().trace_rec, engine_.now().to_ns());
+    }
     active_.pop();
     engine_.after(Duration::zero(), [h] { h.resume(); });
   }

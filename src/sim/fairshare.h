@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/dheap.h"
+#include "common/trace.h"
 #include "sim/engine.h"
 
 namespace tio::sim {
@@ -56,6 +57,8 @@ class FairShareChannel {
     double finish_progress;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
+    // Trace record of this transfer's wait (kNoRecord when tracing is off).
+    std::uint32_t trace_rec = trace::kNoRecord;
   };
   // Earliest virtual finish first; seq breaks ties deterministically.
   struct FlowLess {

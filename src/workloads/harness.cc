@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/trace.h"
+
 namespace tio::workloads {
 
 std::uint64_t total_bytes(const OpGen& gen, int nprocs) {
@@ -26,6 +28,18 @@ sim::Task<void> run_phase(TargetFactory& factory, mpi::Comm comm, const JobSpec&
   co_await comm.barrier();
   const TimePoint t0 = engine.now();
 
+  // Barrier-to-barrier phase spans on every rank: each matches the reported
+  // segment times (which rank 0 records below) to within the final barrier's
+  // skew, so a trace consumer can cross-check per-phase sums against them.
+  // The open span is named by direction: a read-mode open runs the index
+  // aggregation whose plfs.open.* phases tooling (tools/check_trace.py)
+  // reconciles against this window, a write-mode open runs the create path.
+  static const trace::SpanSite kOpenWriteSite("harness", "harness.open_write");
+  static const trace::SpanSite kOpenReadSite("harness", "harness.open_read");
+  static const trace::SpanSite kIoSite("harness", "harness.io");
+  static const trace::SpanSite kCloseSite("harness", "harness.close");
+  trace::Span open_span(engine, writing ? kOpenWriteSite : kOpenReadSite, comm.global_rank());
+
   // NOTE: deliberately not a conditional expression around co_await — GCC 12
   // destroys the awaited temporary too early in that construct.
   std::unique_ptr<Target> target;
@@ -40,6 +54,8 @@ sim::Task<void> run_phase(TargetFactory& factory, mpi::Comm comm, const JobSpec&
   }
   co_await comm.barrier();
   const TimePoint t1 = engine.now();
+  open_span.end();
+  trace::Span io_span(engine, kIoSite, comm.global_rank());
 
   const PhaseFn& custom = writing ? spec.write_fn : spec.read_fn;
   if (custom) {
@@ -67,10 +83,13 @@ sim::Task<void> run_phase(TargetFactory& factory, mpi::Comm comm, const JobSpec&
   }
   co_await comm.barrier();
   const TimePoint t2 = engine.now();
+  io_span.end();
+  trace::Span close_span(engine, kCloseSite, comm.global_rank());
 
   const Status st = co_await target->close();  // collective
   if (!st.ok()) fail("close", st);
   const TimePoint t3 = engine.now();
+  close_span.end();
 
   if (comm.rank() == 0 && out != nullptr) {
     out->open_s = (t1 - t0).to_seconds();

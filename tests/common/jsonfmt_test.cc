@@ -1,0 +1,61 @@
+#include "common/jsonfmt.h"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace tio {
+namespace {
+
+TEST(JsonDouble, FixedPointFormatting) {
+  EXPECT_EQ(json_double(0.0, 3), "0.000");
+  EXPECT_EQ(json_double(1.0, 3), "1.000");
+  EXPECT_EQ(json_double(1.5, 3), "1.500");
+  EXPECT_EQ(json_double(-2.25, 2), "-2.25");
+  EXPECT_EQ(json_double(1234.5678, 2), "1234.57");
+  EXPECT_EQ(json_double(0.0005, 6), "0.000500");
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN(), 3), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity(), 3), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity(), 3), "null");
+}
+
+TEST(JsonDouble, IgnoresCommaDecimalLocale) {
+  // The regression this helper exists for: under a comma-decimal locale,
+  // printf("%f") emits "1,500000" and corrupts JSON. The container may only
+  // ship C/POSIX locales, so try several comma-decimal ones and skip if
+  // none can be installed into LC_NUMERIC.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"};
+  const char* installed = nullptr;
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      installed = name;
+      break;
+    }
+  }
+  if (installed == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale available";
+  }
+  char printf_out[64];
+  std::snprintf(printf_out, sizeof(printf_out), "%.3f", 1.5);
+  EXPECT_STREQ(printf_out, "1,500");  // printf is locale-poisoned...
+  EXPECT_EQ(json_double(1.5, 3), "1.500");  // ...json_double is not
+  std::setlocale(LC_NUMERIC, "C");
+}
+
+TEST(JsonQuote, EscapesMandatoryCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("line\nfeed\ttab\rret"), "\"line\\nfeed\\ttab\\rret\"");
+  EXPECT_EQ(json_quote(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(json_quote(""), "\"\"");
+}
+
+}  // namespace
+}  // namespace tio

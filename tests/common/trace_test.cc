@@ -1,0 +1,197 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/engine.h"
+
+namespace tio::trace {
+namespace {
+
+// The tracer is process-global; each test starts from a clean, enabled
+// slate and disables it on the way out so unrelated tests stay unaffected.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+sim::Task<void> nested_work(sim::Engine& engine) {
+  static const SpanSite outer_site("test", "test.outer");
+  static const SpanSite inner_site("test", "test.inner");
+  Span outer(engine, outer_site, /*rank=*/0);
+  co_await engine.sleep(Duration::us(10));
+  {
+    Span inner(engine, inner_site, /*rank=*/0);
+    co_await engine.sleep(Duration::us(5));
+  }
+  co_await engine.sleep(Duration::us(1));
+}
+
+TEST_F(TraceTest, SpanNestingParentsAndDepths) {
+  sim::Engine engine;
+  engine.spawn(nested_work(engine));
+  engine.run();
+
+  const auto& spans = Tracer::instance().rank_spans(0);
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& outer = spans[0];
+  const SpanRecord& inner = spans[1];
+  EXPECT_EQ(Tracer::instance().interned(outer.name_id), "test.outer");
+  EXPECT_EQ(Tracer::instance().interned(inner.name_id), "test.inner");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.parent, 1u);  // index 0 + 1
+  // The child's interval is contained in the parent's.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  EXPECT_EQ(outer.end_ns - outer.start_ns, 16000);
+  EXPECT_EQ(inner.end_ns - inner.start_ns, 5000);
+}
+
+TEST_F(TraceTest, VirtualTimestampsAreDeterministicAcrossReruns) {
+  auto capture = [] {
+    Tracer::instance().clear();
+    sim::Engine engine(0xabc);
+    engine.spawn(nested_work(engine));
+    engine.run();
+    std::vector<SpanRecord> out = Tracer::instance().rank_spans(0);
+    return out;
+  };
+  const std::vector<SpanRecord> a = capture();
+  const std::vector<SpanRecord> b = capture();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_ns, b[i].start_ns) << "span " << i;
+    EXPECT_EQ(a[i].end_ns, b[i].end_ns) << "span " << i;
+    EXPECT_EQ(a[i].name_id, b[i].name_id) << "span " << i;
+    EXPECT_EQ(a[i].depth, b[i].depth) << "span " << i;
+  }
+}
+
+TEST_F(TraceTest, SpansFromDifferentEnginesDoNotNest) {
+  // Successive rigs in one bench reuse rank numbers; a span opened by a new
+  // engine must not become a child of a stale open span from the previous
+  // one (pid differs), and vice versa.
+  Tracer& t = Tracer::instance();
+  const std::uint32_t name = t.intern("x");
+  const std::uint32_t r1 = t.begin_span(3, name, name, /*pid=*/1, 100);
+  const std::uint32_t r2 = t.begin_span(3, name, name, /*pid=*/2, 200);
+  ASSERT_NE(r1, kNoRecord);
+  ASSERT_NE(r2, kNoRecord);
+  const auto& spans = t.rank_spans(3);
+  EXPECT_EQ(spans[r2].depth, 0u);
+  EXPECT_EQ(spans[r2].parent, 0u);
+  const std::uint32_t r3 = t.begin_span(3, name, name, /*pid=*/2, 300);
+  EXPECT_EQ(spans[r3].depth, 1u);
+  EXPECT_EQ(spans[r3].parent, r2 + 1);
+}
+
+TEST_F(TraceTest, SpanFeedsHistogram) {
+  histogram("test.histspan").reset();
+  sim::Engine engine;
+  static const SpanSite site("test", "test.histspan");
+  engine.spawn([](sim::Engine& e) -> sim::Task<void> {
+    Span s(e, site, 0);
+    co_await e.sleep(Duration::us(3));
+  }(engine));
+  engine.run();
+  Histogram& h = histogram("test.histspan");
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 3000);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothingButHistogramsStillFill) {
+  Tracer::instance().set_enabled(false);
+  histogram("test.disabled").reset();
+  sim::Engine engine;
+  static const SpanSite site("test", "test.disabled");
+  engine.spawn([](sim::Engine& e) -> sim::Task<void> {
+    Span s(e, site, 0);
+    co_await e.sleep(Duration::us(2));
+  }(engine));
+  engine.run();
+  EXPECT_EQ(Tracer::instance().span_count(), 0u);
+  EXPECT_EQ(histogram("test.disabled").count(), 1u);
+}
+
+TEST_F(TraceTest, RetroactiveRecordSpan) {
+  histogram("test.retro").reset();
+  sim::Engine engine;
+  static const SpanSite site("test", "test.retro");
+  engine.spawn([](sim::Engine& e) -> sim::Task<void> {
+    const std::int64_t t0 = e.now().to_ns();
+    co_await e.sleep(Duration::us(7));
+    record_span(e, site, /*rank=*/2, t0);
+  }(engine));
+  engine.run();
+  const auto& spans = Tracer::instance().rank_spans(2);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end_ns - spans[0].start_ns, 7000);
+  EXPECT_EQ(histogram("test.retro").count(), 1u);
+}
+
+TEST_F(TraceTest, ChromeJsonGolden) {
+  // Drive the tracer directly with fixed pids/timestamps so the exported
+  // document is byte-stable, then pin it exactly: this is the wire format
+  // chrome://tracing and Perfetto load, so accidental format drift must
+  // fail loudly.
+  Tracer& t = Tracer::instance();
+  const std::uint32_t open_id = t.intern("plfs.open.index_read");
+  const std::uint32_t cat_id = t.intern("plfs.open");
+  const std::uint32_t rec0 = t.begin_span(/*rank=*/0, open_id, cat_id, /*pid=*/7, 1000);
+  t.end_span(0, rec0, 2500);
+  const std::uint32_t rec1 = t.begin_span(/*rank=*/1, open_id, cat_id, /*pid=*/7, 2000);
+  t.end_span(1, rec1, 4250);
+  // A span that never closes is omitted from the export.
+  (void)t.begin_span(/*rank=*/0, open_id, cat_id, /*pid=*/7, 9000);
+
+  const std::string golden =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":7,\"tid\":1,"
+      "\"args\":{\"name\":\"rank 0\"}},\n"
+      "{\"name\":\"plfs.open.index_read\",\"cat\":\"plfs.open\",\"ph\":\"X\","
+      "\"ts\":1.000,\"dur\":1.500,\"pid\":7,\"tid\":1},\n"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":7,\"tid\":2,"
+      "\"args\":{\"name\":\"rank 1\"}},\n"
+      "{\"name\":\"plfs.open.index_read\",\"cat\":\"plfs.open\",\"ph\":\"X\","
+      "\"ts\":2.000,\"dur\":2.250,\"pid\":7,\"tid\":2}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(t.to_chrome_json(), golden);
+}
+
+TEST_F(TraceTest, ChromeJsonIsStructurallySane) {
+  sim::Engine engine;
+  engine.spawn(nested_work(engine));
+  engine.run();
+  const std::string json = Tracer::instance().to_chrome_json();
+  // Cheap structural checks (ci.sh additionally runs python -m json.tool on
+  // real bench traces): balanced braces/brackets, required top-level keys.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  std::int64_t brace = 0, bracket = 0;
+  for (const char c : json) {
+    brace += c == '{';
+    brace -= c == '}';
+    bracket += c == '[';
+    bracket -= c == ']';
+    ASSERT_GE(brace, 0);
+    ASSERT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+}  // namespace
+}  // namespace tio::trace
