@@ -1,11 +1,13 @@
 // Shared plumbing for the figure-reproduction harnesses.
 #pragma once
 
+#include <algorithm>
 #include <clocale>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -15,6 +17,7 @@
 #include "common/table.h"
 #include "common/trace.h"
 #include "plfs/pattern.h"
+#include "sim/sharded.h"
 #include "testbed/testbed.h"
 #include "workloads/harness.h"
 #include "workloads/kernels.h"
@@ -214,6 +217,44 @@ inline void print_histograms() {
                  static_cast<long long>(h->percentile(90)),
                  static_cast<long long>(h->percentile(99)), static_cast<long long>(h->max()));
   }
+}
+
+// Shared --shards flag: how many OS threads to spread independent
+// simulations (one Rig per data point) across. 1 = the serial legacy path.
+inline std::int64_t* add_shards_flag(FlagSet& flags) {
+  return flags.add_i64(
+      "shards", 1,
+      "shard independent simulations across N OS threads (1 = serial)");
+}
+
+// Validates --shards: rejects 0/negative values and values above the
+// host's hardware_concurrency() (override with TIO_SHARDS_OVERSUBSCRIBE=1
+// for CI boxes that want to exercise the threaded path regardless), caps
+// at sim::kMaxShards, and notes the count in the sim.engine.shards counter
+// so every stderr counter dump and --json block carries it.
+inline std::size_t shards_or_die(std::int64_t value) {
+  if (value < 1) {
+    std::fprintf(stderr, "--shards must be >= 1 (got %lld)\n",
+                 static_cast<long long>(value));
+    std::exit(1);
+  }
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const char* oversub = std::getenv("TIO_SHARDS_OVERSUBSCRIBE");
+  const bool allow_oversub = oversub != nullptr && oversub[0] == '1';
+  if (static_cast<std::uint64_t>(value) > hc && !allow_oversub) {
+    std::fprintf(stderr,
+                 "--shards=%lld exceeds hardware_concurrency()=%u "
+                 "(set TIO_SHARDS_OVERSUBSCRIBE=1 to force)\n",
+                 static_cast<long long>(value), hc);
+    std::exit(1);
+  }
+  if (static_cast<std::uint64_t>(value) > sim::kMaxShards) {
+    std::fprintf(stderr, "--shards=%lld exceeds the supported maximum of %zu\n",
+                 static_cast<long long>(value), sim::kMaxShards);
+    std::exit(1);
+  }
+  counter("sim.engine.shards").add(static_cast<std::uint64_t>(value));
+  return static_cast<std::size_t>(value);
 }
 
 // Shared --trace flag: when non-empty, span tracing is enabled for the whole

@@ -34,10 +34,12 @@ int main(int argc, char** argv) {
   FlagSet flags("fig2_write_summary: N-1 write speedups, PLFS vs direct PFS");
   auto* procs = flags.add_i64("procs", 256, "concurrent writer processes");
   auto* per_proc_mib = flags.add_i64("per-proc-mib", 8, "MiB written per process");
+  auto* shards_flag = bench::add_shards_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  const std::size_t shards = bench::shards_or_die(*shards_flag);
 
   bench::print_header("Fig. 2 — Summary of write performance results",
                       "PLFS N-1 write speedup across applications (up to ~150x)");
@@ -58,14 +60,28 @@ int main(int argc, char** argv) {
       {"MPI-IO_Test", 47_KiB, per_proc},    // the SC09 paper's 47 KB config
   };
 
+  // Each app is an independent pair of simulations; the pool spreads apps
+  // across shard threads in the serial bench's submission order.
+  struct Cell {
+    double direct, plfs;
+  };
+  std::vector<Cell> cells(apps.size());
+  sim::ShardPool pool(shards);
+  const int nprocs = static_cast<int>(*procs);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    pool.submit([&cells, &apps, i, nprocs] {
+      cells[i].direct = write_bw(bench::lanl_rig(), nprocs, apps[i], Access::direct_n1);
+      cells[i].plfs = write_bw(bench::lanl_rig(), nprocs, apps[i], Access::plfs_n1);
+    });
+  }
+  pool.run_all();
+
   Table table({"app", "record", "direct MB/s", "PLFS MB/s", "speedup"});
-  for (const auto& app : apps) {
-    const double direct = write_bw(bench::lanl_rig(), static_cast<int>(*procs), app,
-                                   Access::direct_n1);
-    const double plfs = write_bw(bench::lanl_rig(), static_cast<int>(*procs), app,
-                                 Access::plfs_n1);
-    table.add_row({app.name, format_bytes(app.record), Table::num(bench::mbps(direct)),
-                   Table::num(bench::mbps(plfs)), Table::num(plfs / direct, 1) + "x"});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& app = apps[i];
+    table.add_row({app.name, format_bytes(app.record), Table::num(bench::mbps(cells[i].direct)),
+                   Table::num(bench::mbps(cells[i].plfs)),
+                   Table::num(cells[i].plfs / cells[i].direct, 1) + "x"});
   }
   table.print(std::cout);
   std::printf("\nprocs=%lld, %lld MiB/proc, N-1 strided, LANL-cluster testbed\n",

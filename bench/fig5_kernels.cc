@@ -27,16 +27,30 @@ double read_bw(const JobSpec& base, Access access, int procs) {
 }
 
 void kernel_table(const std::string& title, const std::string& ref,
-                  const std::vector<int>& procs,
+                  const std::vector<int>& procs, std::size_t shards,
                   const std::function<JobSpec(int)>& make) {
   bench::print_header(title, ref);
+  // Every (procs, access) cell is an independent simulation; spread the rows
+  // across shard threads, submitting in the serial bench's execution order.
+  struct Cell {
+    double direct, plfs;
+  };
+  std::vector<Cell> cells(procs.size());
+  sim::ShardPool pool(shards);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const int n = procs[i];
+    pool.submit([&cells, &make, i, n] {
+      const JobSpec spec = make(n);
+      cells[i].direct = read_bw(spec, Access::direct_n1, n);
+      cells[i].plfs = read_bw(spec, Access::plfs_n1, n);
+    });
+  }
+  pool.run_all();
   Table t({"procs", "direct MB/s", "PLFS MB/s", "PLFS/direct"});
-  for (const int n : procs) {
-    const JobSpec spec = make(n);
-    const double direct = read_bw(spec, Access::direct_n1, n);
-    const double plfs = read_bw(spec, Access::plfs_n1, n);
-    t.add_row({std::to_string(n), Table::num(bench::mbps(direct)),
-               Table::num(bench::mbps(plfs)), Table::num(plfs / direct, 2) + "x"});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    t.add_row({std::to_string(procs[i]), Table::num(bench::mbps(cells[i].direct)),
+               Table::num(bench::mbps(cells[i].plfs)),
+               Table::num(cells[i].plfs / cells[i].direct, 2) + "x"});
   }
   t.print(std::cout);
 }
@@ -48,10 +62,12 @@ int main(int argc, char** argv) {
   auto* max_procs = flags.add_i64("max-procs", 512, "largest process count");
   auto* scale_mib = flags.add_i64("scale-mib", 8,
                                   "per-process data scale in MiB (paper used up to 1 GB)");
+  auto* shards_flag = bench::add_shards_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  const std::size_t shards = bench::shards_or_die(*shards_flag);
   const auto procs = bench::sweep(32, static_cast<int>(*max_procs));
   const std::uint64_t scale = static_cast<std::uint64_t>(*scale_mib) << 20;
 
@@ -59,19 +75,19 @@ int main(int argc, char** argv) {
   // scaled up 16x relative to the other kernels so slab sizes stay
   // representative and direct access can stream.
   kernel_table("Fig. 5a — Pixie3D (pnetcdf, weak scaling)",
-               "direct wins small; PLFS scales better and wins large", procs,
+               "direct wins small; PLFS scales better and wins large", procs, shards,
                [&](int n) { return pixie3d(n, 16 * scale, 8, {}); });
 
   // ARAMCO is strong scaling: the dataset is fixed, so per-process data
   // shrinks as procs grow while index-aggregation cost does not.
   kernel_table("Fig. 5b — ARAMCO (HDF5, strong scaling)",
-               "PLFS up to ~8x at low counts; direct wins at scale", procs, [&](int n) {
+               "PLFS up to ~8x at low counts; direct wins at scale", procs, shards, [&](int n) {
                  (void)n;
                  return aramco(n, 8 * scale, 1_MiB, {});
                });
 
   kernel_table("Fig. 5c — IOR (N-1, 1 MiB records)",
-               "PLFS wins at all process counts (up to ~4.5x)", procs, [&](int n) {
+               "PLFS wins at all process counts (up to ~4.5x)", procs, shards, [&](int n) {
                  (void)n;
                  JobSpec spec;
                  spec.file = "ior";
@@ -79,21 +95,21 @@ int main(int argc, char** argv) {
                  return spec;
                });
 
-  kernel_table("Fig. 5d — MADbench (out-of-core matrices)", "PLFS wins", procs,
+  kernel_table("Fig. 5d — MADbench (out-of-core matrices)", "PLFS wins", procs, shards,
                [&](int n) {
                  (void)n;
                  return madbench(scale / 2, 2, {});
                });
 
   kernel_table("Fig. 5e — LANL 1 (weak scaling, ~500 KB strided)",
-               "PLFS wins everywhere; paper max ~10x at 384 procs", procs,
+               "PLFS wins everywhere; paper max ~10x at 384 procs", procs, shards,
                [&](int n) {
                  (void)n;
                  return lanl1(scale, {});
                });
 
   kernel_table("Fig. 5f — LANL 3 (strong scaling, 1 KiB records, collective buffering)",
-               "near parity; PLFS slightly ahead at the largest scale", procs,
+               "near parity; PLFS slightly ahead at the largest scale", procs, shards,
                [&](int n) { return lanl3(n, 16 * scale, {}); });
   bench::print_sim_counters();
   return 0;

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   auto* procs = flags.add_i64("procs", 128, "processes creating files");
   auto* max_files = flags.add_i64("max-files", 8192, "largest total file count");
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  auto* shards_flag = bench::add_shards_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   auto* trace_path = bench::add_trace_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
@@ -28,35 +29,45 @@ int main(int argc, char** argv) {
   }
   bench::start_trace(*trace_path);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
+  const std::size_t shards = bench::shards_or_die(*shards_flag);
   const std::vector<std::size_t> mds_counts = {1, 3, 6, 9};
   const auto file_counts = bench::sweep(1024, static_cast<int>(*max_files));
 
   struct Cell {
     double open, close;
   };
-  std::vector<std::vector<Cell>> plfs_cells(mds_counts.size());
-  std::vector<Cell> direct_cells;
+  std::vector<std::vector<Cell>> plfs_cells(mds_counts.size(),
+                                            std::vector<Cell>(file_counts.size()));
+  std::vector<Cell> direct_cells(file_counts.size());
 
-  for (const int files : file_counts) {
+  // One independent rig per cell; jobs are submitted in the serial bench's
+  // execution order and spread across shard threads.
+  sim::ShardPool pool(shards);
+  const int nprocs = static_cast<int>(*procs);
+  const auto storm = [&plan, nprocs](int files, std::size_t mds, bool use_plfs) {
     MetaSpec spec;
-    spec.files_per_proc = std::max(1, files / static_cast<int>(*procs));
+    spec.files_per_proc = std::max(1, files / nprocs);
+    spec.use_plfs = use_plfs;
+    testbed::Rig::Options o = bench::lanl_rig(mds);
+    o.fault_plan = plan;
+    testbed::Rig rig(o);
+    const MetaResult r = run_metadata_storm(rig, nprocs, spec);
+    return Cell{r.open_s, r.close_s};
+  };
+  for (std::size_t f = 0; f < file_counts.size(); ++f) {
+    const int files = file_counts[f];
     for (std::size_t i = 0; i < mds_counts.size(); ++i) {
-      testbed::Rig::Options o = bench::lanl_rig(mds_counts[i]);
-      o.fault_plan = plan;
-      testbed::Rig rig(o);
-      spec.use_plfs = true;
-      const MetaResult r = run_metadata_storm(rig, static_cast<int>(*procs), spec);
-      plfs_cells[i].push_back(Cell{r.open_s, r.close_s});
+      pool.submit([&storm, &plfs_cells, f, i, files, mds = mds_counts[i]] {
+        plfs_cells[i][f] = storm(files, mds, /*use_plfs=*/true);
+      });
     }
     // Direct N-N on the same hardware as the largest federation — the
     // extra MDS cannot help because every create is in one directory.
-    testbed::Rig::Options o = bench::lanl_rig(mds_counts.back());
-    o.fault_plan = plan;
-    testbed::Rig rig(o);
-    spec.use_plfs = false;
-    const MetaResult r = run_metadata_storm(rig, static_cast<int>(*procs), spec);
-    direct_cells.push_back(Cell{r.open_s, r.close_s});
+    pool.submit([&storm, &direct_cells, f, files, mds = mds_counts.back()] {
+      direct_cells[f] = storm(files, mds, /*use_plfs=*/false);
+    });
   }
+  pool.run_all();
 
   bench::print_header("Fig. 7a — N-N Open Time (s, includes creation)",
                       "PLFS-6/PLFS-9 beat direct; PLFS-1 worst");
@@ -86,9 +97,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"bench\": \"fig7_metadata_nn\",\n");
     std::fprintf(f,
-                 "  \"config\": {\"procs\": %lld, \"max_files\": %lld, \"fault_plan\": \"%s\"},\n",
+                 "  \"config\": {\"procs\": %lld, \"max_files\": %lld, \"fault_plan\": \"%s\", "
+                 "\"shards\": %zu},\n",
                  static_cast<long long>(*procs), static_cast<long long>(*max_files),
-                 plan_spec->c_str());
+                 plan_spec->c_str(), shards);
     std::fprintf(f, "  \"rows\": [");
     for (std::size_t f_i = 0; f_i < file_counts.size(); ++f_i) {
       std::fprintf(f, "%s\n    {\"files\": %d,\n     \"open_s\": {", f_i ? "," : "",

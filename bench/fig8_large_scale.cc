@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   auto* backend_name = bench::add_index_backend_flag(flags);
   auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  auto* shards_flag = bench::add_shards_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   auto* trace_path = bench::add_trace_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
   const plfs::WireFormat wire = bench::index_wire_or_die(*wire_name);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
+  const std::size_t shards = bench::shards_or_die(*shards_flag);
 
   struct ReadRow {
     int procs;
@@ -43,115 +45,149 @@ int main(int argc, char** argv) {
     int procs;
     std::vector<double> open_s;  // one entry per MDS-count column
   };
-  std::vector<ReadRow> read_rows;
-  std::vector<StormRow> nn_rows, n1_rows;
   struct DirectRow {
     int procs;
     double direct_s, plfs_s;
   };
-  std::vector<DirectRow> direct_rows;
+  const auto read_procs = bench::sweep(4096, static_cast<int>(*max_read_procs));
+  const auto storm_procs = bench::sweep(4096, static_cast<int>(*max_meta_procs));
+  std::vector<ReadRow> read_rows(read_procs.size());
+  std::vector<StormRow> nn_rows(storm_procs.size()), n1_rows(storm_procs.size());
+  std::vector<DirectRow> direct_rows(storm_procs.size());
+
+  // Every cell of every section is one independent simulation. They all go
+  // into a single pool so the largest jobs (which dominate wall clock)
+  // spread across shard threads regardless of which figure they belong to;
+  // printing happens after the join, in the same order as before.
+  sim::ShardPool pool(shards);
 
   // --- 8a: read bandwidth ---
+  const auto read_bw = [&, per_proc, record](int n, Access access, bool strided) {
+    testbed::Rig::Options opts = bench::cielo_rig(10);
+    opts.index_backend = backend;
+    opts.index_wire = wire;
+    opts.fault_plan = plan;
+    testbed::Rig rig(std::move(opts));
+    JobSpec spec;
+    spec.file = "big";
+    spec.ops = strided ? strided_ops(per_proc, record) : segmented_ops(per_proc, record);
+    spec.target.access = access;
+    spec.target.strategy = plfs::ReadStrategy::parallel_read;
+    spec.drop_caches_before_read = true;
+    return run_job(rig, n, spec).read.effective_bw();
+  };
+  for (std::size_t i = 0; i < read_procs.size(); ++i) {
+    const int n = read_procs[i];
+    read_rows[i].procs = n;
+    pool.submit([&read_bw, &read_rows, i, n] {
+      read_rows[i].nn_direct = read_bw(n, Access::direct_nn, /*strided=*/false);
+    });
+    pool.submit([&read_bw, &read_rows, i, n] {
+      read_rows[i].nn_plfs = read_bw(n, Access::plfs_nn, /*strided=*/false);
+    });
+    pool.submit([&read_bw, &read_rows, i, n] {
+      read_rows[i].n1_plfs = read_bw(n, Access::plfs_n1, /*strided=*/true);
+    });
+  }
+
+  // --- 8b/8c: open storms across MDS counts ---
+  const auto storm_open = [&](int n, std::size_t mds, bool shared) {
+    testbed::Rig::Options opts = bench::cielo_rig(mds);
+    opts.fault_plan = plan;
+    testbed::Rig rig(std::move(opts));
+    MetaSpec spec;
+    spec.use_plfs = true;
+    spec.shared_file = shared;
+    return run_metadata_storm(rig, n, spec).open_s;
+  };
+  // Submission order mirrors the serial bench's execution order exactly
+  // (8a, all of 8b, all of 8c, 8d) so shards=1 replays the legacy run —
+  // same engine creation order, same trace bytes.
+  constexpr std::size_t kNnMds[] = {1, 10, 20};
+  constexpr std::size_t kN1Mds[] = {1, 10};
+  for (std::size_t i = 0; i < storm_procs.size(); ++i) {
+    const int n = storm_procs[i];
+    nn_rows[i] = {n, std::vector<double>(std::size(kNnMds))};
+    for (std::size_t m = 0; m < std::size(kNnMds); ++m) {
+      pool.submit([&storm_open, &nn_rows, i, n, mds = kNnMds[m], m] {
+        nn_rows[i].open_s[m] = storm_open(n, mds, /*shared=*/false);
+      });
+    }
+  }
+  for (std::size_t i = 0; i < storm_procs.size(); ++i) {
+    const int n = storm_procs[i];
+    n1_rows[i] = {n, std::vector<double>(std::size(kN1Mds))};
+    for (std::size_t m = 0; m < std::size(kN1Mds); ++m) {
+      pool.submit([&storm_open, &n1_rows, i, n, mds = kN1Mds[m], m] {
+        n1_rows[i].open_s[m] = storm_open(n, mds, /*shared=*/true);
+      });
+    }
+  }
+
+  // --- 8d: PLFS-10 vs direct ---
+  const auto direct_open = [&](int n, bool use_plfs) {
+    testbed::Rig::Options opts = bench::cielo_rig(10);
+    opts.fault_plan = plan;
+    testbed::Rig rig(std::move(opts));
+    MetaSpec spec;
+    spec.use_plfs = use_plfs;
+    return run_metadata_storm(rig, n, spec).open_s;
+  };
+  for (std::size_t i = 0; i < storm_procs.size(); ++i) {
+    const int n = storm_procs[i];
+    direct_rows[i].procs = n;
+    pool.submit([&direct_open, &direct_rows, i, n] {
+      direct_rows[i].direct_s = direct_open(n, /*use_plfs=*/false);
+    });
+    pool.submit([&direct_open, &direct_rows, i, n] {
+      direct_rows[i].plfs_s = direct_open(n, /*use_plfs=*/true);
+    });
+  }
+
+  pool.run_all();
+
   bench::print_header("Fig. 8a — Large-Scale Read Bandwidth (MB/s)",
                       "N-1 PLFS close to / above direct N-N across process counts");
   {
     Table t({"procs", "N-N w/o PLFS", "N-N PLFS", "N-1 PLFS"});
-    for (const int n : bench::sweep(4096, static_cast<int>(*max_read_procs))) {
-      auto bw = [&](Access access, const OpGen& ops) {
-        testbed::Rig::Options opts = bench::cielo_rig(10);
-        opts.index_backend = backend;
-        opts.index_wire = wire;
-        opts.fault_plan = plan;
-        testbed::Rig rig(std::move(opts));
-        JobSpec spec;
-        spec.file = "big";
-        spec.ops = ops;
-        spec.target.access = access;
-        spec.target.strategy = plfs::ReadStrategy::parallel_read;
-        spec.drop_caches_before_read = true;
-        return run_job(rig, n, spec).read.effective_bw();
-      };
-      const double nn_direct = bw(Access::direct_nn, segmented_ops(per_proc, record));
-      const double nn_plfs = bw(Access::plfs_nn, segmented_ops(per_proc, record));
-      const double n1_plfs = bw(Access::plfs_n1, strided_ops(per_proc, record));
-      read_rows.push_back({n, nn_direct, nn_plfs, n1_plfs});
-      t.add_row({std::to_string(n), Table::num(bench::mbps(nn_direct)),
-                 Table::num(bench::mbps(nn_plfs)), Table::num(bench::mbps(n1_plfs))});
+    for (const auto& r : read_rows) {
+      t.add_row({std::to_string(r.procs), Table::num(bench::mbps(r.nn_direct)),
+                 Table::num(bench::mbps(r.nn_plfs)), Table::num(bench::mbps(r.n1_plfs))});
     }
     t.print(std::cout);
   }
 
-  const auto storm_procs = bench::sweep(4096, static_cast<int>(*max_meta_procs));
-
-  // --- 8b: N-N open storm across MDS counts ---
   bench::print_header("Fig. 8b — Large N-N Open Time (s)",
                       "PLFS-1 poor; PLFS-10 dramatically better");
   {
     Table t({"procs", "PLFS-1", "PLFS-10", "PLFS-20"});
-    for (const int n : storm_procs) {
-      std::vector<std::string> row = {std::to_string(n)};
-      StormRow jrow{n, {}};
-      for (const std::size_t mds : {std::size_t{1}, std::size_t{10}, std::size_t{20}}) {
-        testbed::Rig::Options opts = bench::cielo_rig(mds);
-        opts.fault_plan = plan;
-        testbed::Rig rig(std::move(opts));
-        MetaSpec spec;
-        spec.use_plfs = true;
-        const double open_s = run_metadata_storm(rig, n, spec).open_s;
-        jrow.open_s.push_back(open_s);
-        row.push_back(Table::num(open_s, 2));
-      }
-      nn_rows.push_back(std::move(jrow));
+    for (const auto& r : nn_rows) {
+      std::vector<std::string> row = {std::to_string(r.procs)};
+      for (const double open_s : r.open_s) row.push_back(Table::num(open_s, 2));
       t.add_row(row);
     }
     t.print(std::cout);
   }
 
-  // --- 8c: N-1 open storm (shared container) ---
   bench::print_header("Fig. 8c — Large N-1 Open Time (s)",
                       "similar at small scale; PLFS-10 wins as procs grow");
   {
     Table t({"procs", "PLFS-1", "PLFS-10"});
-    for (const int n : storm_procs) {
-      std::vector<std::string> row = {std::to_string(n)};
-      StormRow jrow{n, {}};
-      for (const std::size_t mds : {std::size_t{1}, std::size_t{10}}) {
-        testbed::Rig::Options opts = bench::cielo_rig(mds);
-        opts.fault_plan = plan;
-        testbed::Rig rig(std::move(opts));
-        MetaSpec spec;
-        spec.use_plfs = true;
-        spec.shared_file = true;
-        const double open_s = run_metadata_storm(rig, n, spec).open_s;
-        jrow.open_s.push_back(open_s);
-        row.push_back(Table::num(open_s, 2));
-      }
-      n1_rows.push_back(std::move(jrow));
+    for (const auto& r : n1_rows) {
+      std::vector<std::string> row = {std::to_string(r.procs)};
+      for (const double open_s : r.open_s) row.push_back(Table::num(open_s, 2));
       t.add_row(row);
     }
     t.print(std::cout);
   }
 
-  // --- 8d: PLFS-10 vs direct ---
   bench::print_header("Fig. 8d — N-N Open Time, PLFS-10 vs W/O PLFS (s)",
                       "paper: up to 17x faster with PLFS at 32,768 processes");
   {
     Table t({"procs", "W/O PLFS", "PLFS-10", "speedup"});
-    for (const int n : storm_procs) {
-      MetaSpec spec;
-      testbed::Rig::Options opts_direct = bench::cielo_rig(10);
-      opts_direct.fault_plan = plan;
-      testbed::Rig rig_direct(std::move(opts_direct));
-      spec.use_plfs = false;
-      const double direct = run_metadata_storm(rig_direct, n, spec).open_s;
-      testbed::Rig::Options opts_plfs = bench::cielo_rig(10);
-      opts_plfs.fault_plan = plan;
-      testbed::Rig rig_plfs(std::move(opts_plfs));
-      spec.use_plfs = true;
-      const double plfs = run_metadata_storm(rig_plfs, n, spec).open_s;
-      direct_rows.push_back({n, direct, plfs});
-      t.add_row({std::to_string(n), Table::num(direct, 2), Table::num(plfs, 2),
-                 Table::num(direct / plfs, 1) + "x"});
+    for (const auto& r : direct_rows) {
+      t.add_row({std::to_string(r.procs), Table::num(r.direct_s, 2), Table::num(r.plfs_s, 2),
+                 Table::num(r.direct_s / r.plfs_s, 1) + "x"});
     }
     t.print(std::cout);
   }
@@ -166,10 +202,10 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  \"config\": {\"max_read_procs\": %lld, \"max_meta_procs\": %lld, "
                  "\"per_proc_mib\": %lld, \"index_backend\": \"%s\", \"index_wire\": \"%s\", "
-                 "\"fault_plan\": \"%s\"},\n",
+                 "\"fault_plan\": \"%s\", \"shards\": %zu},\n",
                  static_cast<long long>(*max_read_procs), static_cast<long long>(*max_meta_procs),
                  static_cast<long long>(*per_proc_mib), plfs::index_backend_name(backend).c_str(),
-                 plfs::wire_format_name(wire).c_str(), plan_spec->c_str());
+                 plfs::wire_format_name(wire).c_str(), plan_spec->c_str(), shards);
     std::fprintf(f, "  \"fig8a_read_bw_mbps\": [");
     for (std::size_t i = 0; i < read_rows.size(); ++i) {
       const auto& r = read_rows[i];

@@ -11,10 +11,13 @@
 // printed.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +27,7 @@
 #include "plfs/index_builder.h"
 #include "plfs/mount.h"
 #include "plfs/pattern.h"
+#include "sim/sharded.h"
 
 namespace tio::plfs {
 namespace {
@@ -238,28 +242,46 @@ void register_build_benchmarks(bool want_btree, bool want_flat, bool want_patter
 
 // Per-backend serialized footprint for the strided workload: what each
 // backend's to_entries() costs on the wire under v1 (fixed 40-byte records)
-// and v2 (pattern-compressed).
-void print_size_report(bool want_btree, bool want_flat, bool want_pattern) {
-  std::printf("\n-- serialized index size per backend (strided workload) --\n");
-  std::printf("%-9s %-8s %14s %14s %9s %14s\n", "entries", "backend", "wire_v1_B", "wire_v2_B",
-              "ratio", "memory_B");
+// and v2 (pattern-compressed). Each (entry count, backend) row is an
+// independent build, so the rows are spread across the shard pool and
+// printed afterwards in the serial order.
+void print_size_report(bool want_btree, bool want_flat, bool want_pattern, std::size_t shards) {
+  struct Job {
+    int total;
+    const char* name;
+    IndexBackend backend;
+  };
+  std::vector<Job> jobs;
   for (const int total : {10000, 100000, 1000000}) {
-    const auto runs = strided_runs(kBuildWriters, total / kBuildWriters);
-    auto report = [&](const char* name, IndexBackend backend) {
-      IndexBuilder builder(backend);
+    if (want_btree) jobs.push_back({total, "btree", IndexBackend::btree});
+    if (want_flat) jobs.push_back({total, "flat", IndexBackend::flat});
+    if (want_pattern) jobs.push_back({total, "pattern", IndexBackend::pattern});
+  }
+  std::vector<std::string> lines(jobs.size());
+  tio::sim::ShardPool pool(shards);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&lines, &jobs, i] {
+      const Job& job = jobs[i];
+      const auto runs = strided_runs(kBuildWriters, job.total / kBuildWriters);
+      IndexBuilder builder(job.backend);
       for (const auto& r : runs) builder.add_run(r);
       const IndexPtr idx = builder.build();
       const std::uint64_t v1 = idx->serialized_bytes(WireFormat::v1);
       const std::uint64_t v2 = idx->serialized_bytes(WireFormat::v2);
-      std::printf("%-9d %-8s %14llu %14llu %8.1fx %14llu\n", total, name,
-                  static_cast<unsigned long long>(v1), static_cast<unsigned long long>(v2),
-                  static_cast<double>(v1) / static_cast<double>(v2),
-                  static_cast<unsigned long long>(idx->memory_bytes()));
-    };
-    if (want_btree) report("btree", IndexBackend::btree);
-    if (want_flat) report("flat", IndexBackend::flat);
-    if (want_pattern) report("pattern", IndexBackend::pattern);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%-9d %-8s %14llu %14llu %8.1fx %14llu\n", job.total,
+                    job.name, static_cast<unsigned long long>(v1),
+                    static_cast<unsigned long long>(v2),
+                    static_cast<double>(v1) / static_cast<double>(v2),
+                    static_cast<unsigned long long>(idx->memory_bytes()));
+      lines[i] = buf;
+    });
   }
+  pool.run_all();
+  std::printf("\n-- serialized index size per backend (strided workload) --\n");
+  std::printf("%-9s %-8s %14s %14s %9s %14s\n", "entries", "backend", "wire_v1_B", "wire_v2_B",
+              "ratio", "memory_B");
+  for (const std::string& line : lines) std::fputs(line.c_str(), stdout);
 }
 
 }  // namespace
@@ -270,11 +292,18 @@ int main(int argc, char** argv) {
   bool want_flat = true;
   bool want_pattern = true;
   std::string trace_path;
+  long long shards = 1;
   // Strip our flags before google-benchmark sees the command line.
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kFlag = "--index_backend=";
     constexpr const char* kTrace = "--trace=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+    constexpr const char* kShards = "--shards=";
+    if (std::strncmp(argv[i], kShards, std::strlen(kShards)) == 0) {
+      shards = std::atoll(argv[i] + std::strlen(kShards));
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       tio::plfs::IndexBackend backend;
       if (!tio::plfs::parse_index_backend(argv[i] + std::strlen(kFlag), backend)) {
         std::fprintf(stderr, "unknown --index_backend (want btree|flat|pattern): %s\n", argv[i]);
@@ -293,6 +322,28 @@ int main(int argc, char** argv) {
       --i;
     }
   }
+  // Same policy as bench::shards_or_die (bench_util.h pulls in testbed
+  // libraries this target does not link, so the check is mirrored here).
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1 (got %lld)\n", shards);
+    return 1;
+  }
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const char* oversub = std::getenv("TIO_SHARDS_OVERSUBSCRIBE");
+  const bool allow_oversub = oversub != nullptr && oversub[0] == '1';
+  if (static_cast<unsigned long long>(shards) > hc && !allow_oversub) {
+    std::fprintf(stderr,
+                 "--shards=%lld exceeds hardware_concurrency()=%u "
+                 "(set TIO_SHARDS_OVERSUBSCRIBE=1 to force)\n",
+                 shards, hc);
+    return 1;
+  }
+  if (static_cast<unsigned long long>(shards) > tio::sim::kMaxShards) {
+    std::fprintf(stderr, "--shards=%lld exceeds the supported maximum of %zu\n", shards,
+                 tio::sim::kMaxShards);
+    return 1;
+  }
+  tio::counter("sim.engine.shards").add(static_cast<std::uint64_t>(shards));
   // The index microbenches are host-CPU work, so the trace holds whatever
   // simulated spans ran (usually none) — the flag exists for tooling
   // uniformity and always yields a valid, loadable document.
@@ -310,7 +361,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace: %zu spans -> %s\n",
                  tio::trace::Tracer::instance().span_count(), trace_path.c_str());
   }
-  tio::plfs::print_size_report(want_btree, want_flat, want_pattern);
+  tio::plfs::print_size_report(want_btree, want_flat, want_pattern,
+                               static_cast<std::size_t>(shards));
   const auto counters = tio::counter_snapshot("plfs.index");
   if (!counters.empty()) {
     std::printf("\n-- plfs.index counters --\n");

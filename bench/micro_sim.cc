@@ -1,19 +1,25 @@
 // Microbenchmarks of the simulator core (google-benchmark): event loop
-// throughput, fair-share channel churn, and extent-map writes — these bound
-// how large a simulated machine the benches can afford.
+// throughput, fair-share channel churn, extent-map writes, and the sharded
+// drivers (shard-pool scaling and cross-shard window overhead) — these
+// bound how large a simulated machine the benches can afford.
 //
 // Convenience flags (translated to google-benchmark's own):
 //   --repeat=N     run every benchmark N times (--benchmark_repetitions)
 //   --json=FILE    also write the JSON report to FILE (--benchmark_out)
 //   --trace=FILE   write Chrome trace-event JSON of the simulated spans
+//   --shards=N     largest shard count the sharded benchmarks sweep to
+//                  (validated like the fig benches' --shards)
 // Results feed BENCH_sim.json; after the run the sim.engine.* counters are
 // printed so pool hit rates are visible next to the throughput numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -22,6 +28,7 @@
 #include "pfs/extent_map.h"
 #include "sim/engine.h"
 #include "sim/fairshare.h"
+#include "sim/sharded.h"
 #include "sim/sync.h"
 
 namespace tio::sim {
@@ -87,6 +94,82 @@ void BM_ExtentMapRandomWrites(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtentMapRandomWrites)->Arg(10000);
 
+// Independent engines spread across a shard pool: the embarrassingly
+// parallel shape the fig benches use. Scaling here bounds the wall-clock
+// win a multi-core host can see.
+void BM_ShardPoolEngines(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  constexpr int kJobs = 8;
+  constexpr int kEventsPerJob = 20000;
+  for (auto _ : state) {
+    ShardPool pool(shards);
+    std::vector<std::uint64_t> events(kJobs, 0);
+    for (int j = 0; j < kJobs; ++j) {
+      pool.submit([&events, j] {
+        Engine engine;
+        for (int i = 0; i < kEventsPerJob; ++i) {
+          engine.after(Duration::us(i % 977), [] {});
+        }
+        engine.run();
+        events[static_cast<std::size_t>(j)] = engine.events_processed();
+      });
+    }
+    pool.run_all();
+    benchmark::DoNotOptimize(events.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kJobs * kEventsPerJob);
+}
+
+// Cross-shard ping-pong through the conservative window driver: two coupled
+// engines exchange messages at just above the lookahead, so every hop costs
+// one full window (serial delivery phase plus, beyond one shard, a barrier
+// round-trip). This prices the epoch overhead that bounds how tightly
+// coupled cross-shard models can afford to be.
+void BM_ShardedWindowPing(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  constexpr int kHops = 1000;
+  for (auto _ : state) {
+    ShardedEngine::Options opts;
+    opts.shards = shards;
+    opts.lookahead = Duration::us(1);
+    ShardedEngine se(opts);
+    Engine a;
+    Engine b;
+    se.adopt(0, a);
+    se.adopt(shards > 1 ? 1 : 0, b);
+    struct Pinger {
+      ShardedEngine* se;
+      int left;
+      void send(Engine& from, Engine& to) {
+        if (left-- <= 0) return;
+        se->post(from, to, Duration::us(2), [this, &from, &to] { send(to, from); });
+      }
+    } ping{&se, kHops};
+    ping.send(a, b);
+    se.run();
+    benchmark::DoNotOptimize(se.windows_run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kHops);
+}
+
+// Registered from main: sweeps shard counts 1..max (doubling), where max
+// comes from --shards.
+void register_sharded_benchmarks(std::size_t max_shards) {
+  std::vector<std::int64_t> counts = {1};
+  for (std::int64_t s = 2; s <= static_cast<std::int64_t>(max_shards); s *= 2) {
+    counts.push_back(s);
+  }
+  if (counts.back() != static_cast<std::int64_t>(max_shards)) {
+    counts.push_back(static_cast<std::int64_t>(max_shards));
+  }
+  auto* pool_bench = benchmark::RegisterBenchmark("BM_ShardPoolEngines", BM_ShardPoolEngines);
+  auto* ping_bench = benchmark::RegisterBenchmark("BM_ShardedWindowPing", BM_ShardedWindowPing);
+  for (const std::int64_t c : counts) {
+    pool_bench->Arg(c);
+    ping_bench->Arg(c);
+  }
+}
+
 void BM_ExtentMapAppendCoalesce(benchmark::State& state) {
   for (auto _ : state) {
     pfs::ExtentMap map;
@@ -106,6 +189,7 @@ BENCHMARK(BM_ExtentMapAppendCoalesce)->Arg(10000);
 int main(int argc, char** argv) {
   // Translate the convenience flags, pass everything else through.
   std::string trace_path;
+  long long shards = 1;
   std::vector<std::string> rewritten = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -118,10 +202,35 @@ int main(int argc, char** argv) {
                           std::string(arg.substr(std::strlen("--json="))));
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = std::string(arg.substr(std::strlen("--trace=")));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atoll(std::string(arg.substr(std::strlen("--shards="))).c_str());
     } else {
       rewritten.emplace_back(arg);
     }
   }
+  // Same policy as bench::shards_or_die (bench_util.h pulls in testbed
+  // libraries this target does not link, so the check is mirrored here).
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1 (got %lld)\n", shards);
+    return 1;
+  }
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const char* oversub = std::getenv("TIO_SHARDS_OVERSUBSCRIBE");
+  const bool allow_oversub = oversub != nullptr && oversub[0] == '1';
+  if (static_cast<unsigned long long>(shards) > hc && !allow_oversub) {
+    std::fprintf(stderr,
+                 "--shards=%lld exceeds hardware_concurrency()=%u "
+                 "(set TIO_SHARDS_OVERSUBSCRIBE=1 to force)\n",
+                 shards, hc);
+    return 1;
+  }
+  if (static_cast<unsigned long long>(shards) > tio::sim::kMaxShards) {
+    std::fprintf(stderr, "--shards=%lld exceeds the supported maximum of %zu\n", shards,
+                 tio::sim::kMaxShards);
+    return 1;
+  }
+  tio::counter("sim.engine.shards").add(static_cast<std::uint64_t>(shards));
+  tio::sim::register_sharded_benchmarks(static_cast<std::size_t>(shards));
   if (!trace_path.empty()) tio::trace::Tracer::instance().set_enabled(true);
   std::vector<char*> bench_argv;
   bench_argv.reserve(rewritten.size());

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: build both presets, run the full suite on the optimized
-# build, and run the index differential/cache suites under ASan+UBSan.
+# CI entry point: build all three presets, run the full suite on the
+# optimized build, run the index differential/cache suites under ASan+UBSan,
+# and run the sharded-engine/determinism suites under TSan.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,6 +36,20 @@ ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|Re
 
 echo "==> trace + stats + jsonfmt suites under ASan/UBSan"
 ctest --preset asan -j "$jobs" -R '^(TraceTest|Histograms|Series|Counters|Grouping|JsonDouble|JsonQuote)\.'
+
+echo "==> configure + build (tsan preset)"
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs"
+
+# The sharded engine's safety argument (shard-local heaps + barrier
+# happens-before + quiescent merges) must hold under ThreadSanitizer, not
+# just under the test matrix. TIO_MATRIX_RANKS shrinks the 4096-rank
+# determinism matrix so the instrumented run stays affordable, and the
+# oversubscribe override lets shards=4/8 paths run on small CI hosts.
+echo "==> sim + mpisim suites and the cross-shard determinism matrix under TSan"
+TIO_MATRIX_RANKS=512 TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R \
+  '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm)\.' \
+  -E 'DeepAwaitChains'
 
 echo "==> fig7 under the stress fault plan must exit clean"
 ./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress >/dev/null
@@ -86,5 +101,17 @@ LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-pro
   --trace="$out/fig4_trace2.json" >"$out/fig4_run2.txt" 2>/dev/null
 cmp "$out/fig4_run1.txt" "$out/fig4_run2.txt"
 cmp "$out/fig4_trace.json" "$out/fig4_trace2.json"
+
+echo "==> fig4 --shards=4 stdout must match --shards=1 byte-for-byte"
+# Sharding spreads rows across threads but every simulated result is a pure
+# function of the row, so the tables cannot change. The serial trace stays
+# on the legacy wire format (no otherData key, implied shards=1); the
+# sharded trace must carry its shard count for tooling.
+TIO_SHARDS_OVERSUBSCRIBE=1 LC_ALL="$json_locale" ./build/bench/fig4_read_scaling \
+  --max-streams 32 --per-proc-mib 2 --shards=4 \
+  --trace="$out/fig4_trace_s4.json" >"$out/fig4_run_s4.txt" 2>/dev/null
+cmp "$out/fig4_run1.txt" "$out/fig4_run_s4.txt"
+python3 tools/check_trace.py "$out/fig4_trace.json" --expect-shards=1
+python3 tools/check_trace.py "$out/fig4_trace_s4.json" --expect-shards=4
 
 echo "==> ci.sh: all green"

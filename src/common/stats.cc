@@ -12,6 +12,8 @@ namespace tio {
 
 namespace {
 
+thread_local unsigned t_stat_shard = 0;
+
 // Shared nearest-rank index computation: for n samples and p in [0, 100],
 // the nearest-rank of p is ceil(p/100 * n) (1-based), clamped to [1, n] so
 // p = 0 picks the first sorted sample and p = 100 the last — exact for
@@ -25,6 +27,15 @@ std::size_t nearest_rank_index(double p, std::size_t n) {
 }
 
 }  // namespace
+
+void set_stat_shard(unsigned shard) {
+  if (shard >= kMaxStatShards) {
+    throw std::invalid_argument("set_stat_shard: shard id out of range");
+  }
+  t_stat_shard = shard;
+}
+
+unsigned stat_shard() { return t_stat_shard; }
 
 double Series::sum() const {
   double s = 0;
@@ -69,32 +80,91 @@ double Series::percentile(double p) const {
   return sorted_cache_[nearest_rank_index(p, sorted_cache_.size())];
 }
 
+std::size_t Counter::slot() { return t_stat_shard % kSlots; }
+
+// One shard's private accumulation. Only its owning thread writes it;
+// readers merge cells while writers are quiescent.
+struct Histogram::Cell {
+  std::vector<std::int64_t> samples;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::int64_t sum = 0;
+};
+
+Histogram::~Histogram() {
+  for (auto& slot : cells_) delete slot.load(std::memory_order_relaxed);
+}
+
+Histogram::Cell& Histogram::local_cell() {
+  const unsigned shard = t_stat_shard;
+  Cell* c = cells_[shard].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    c = cells_[shard].load(std::memory_order_relaxed);
+    if (c == nullptr) {
+      c = new Cell();
+      cells_[shard].store(c, std::memory_order_release);
+    }
+  }
+  return *c;
+}
+
 void Histogram::record(std::int64_t v) {
   if (v < 0) v = 0;
-  samples_.push_back(v);
-  sorted_ = false;
-  sum_ += v;
-  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  Cell& c = local_cell();
+  c.samples.push_back(v);
+  c.sum += v;
+  ++c.buckets[static_cast<std::size_t>(bucket_of(v))];
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& slot : cells_) {
+    if (const Cell* c = slot.load(std::memory_order_acquire)) n += c->samples.size();
+  }
+  return n;
+}
+
+std::int64_t Histogram::sum() const {
+  std::int64_t s = 0;
+  for (const auto& slot : cells_) {
+    if (const Cell* c = slot.load(std::memory_order_acquire)) s += c->sum;
+  }
+  return s;
+}
+
+const std::vector<std::int64_t>& Histogram::merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t n = count();
+  if (sorted_count_ != n) {
+    sorted_cache_.clear();
+    sorted_cache_.reserve(n);
+    for (const auto& slot : cells_) {
+      if (const Cell* c = slot.load(std::memory_order_acquire)) {
+        sorted_cache_.insert(sorted_cache_.end(), c->samples.begin(), c->samples.end());
+      }
+    }
+    // A sorted multiset is placement-independent: the merged view is the
+    // same whichever shard recorded which sample.
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_count_ = n;
+  }
+  return sorted_cache_;
 }
 
 std::int64_t Histogram::min() const {
-  if (samples_.empty()) return 0;
-  return *std::min_element(samples_.begin(), samples_.end());
+  const auto& xs = merged();
+  return xs.empty() ? 0 : xs.front();
 }
 
 std::int64_t Histogram::max() const {
-  if (samples_.empty()) return 0;
-  return *std::max_element(samples_.begin(), samples_.end());
+  const auto& xs = merged();
+  return xs.empty() ? 0 : xs.back();
 }
 
 std::int64_t Histogram::percentile(double p) const {
-  if (samples_.empty()) return 0;
-  if (!sorted_) {
-    sorted_cache_ = samples_;
-    std::sort(sorted_cache_.begin(), sorted_cache_.end());
-    sorted_ = true;
-  }
-  return sorted_cache_[nearest_rank_index(p, sorted_cache_.size())];
+  const auto& xs = merged();
+  if (xs.empty()) return 0;
+  return xs[nearest_rank_index(p, xs.size())];
 }
 
 int Histogram::bucket_of(std::int64_t v) {
@@ -108,12 +178,27 @@ std::int64_t Histogram::bucket_min(int b) {
   return std::int64_t{1} << (b - 1);
 }
 
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (const auto& slot : cells_) {
+    if (const Cell* c = slot.load(std::memory_order_acquire)) {
+      for (int b = 0; b < kBuckets; ++b) out[static_cast<std::size_t>(b)] += c->buckets[static_cast<std::size_t>(b)];
+    }
+  }
+  return out;
+}
+
 void Histogram::reset() {
-  samples_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : cells_) {
+    if (Cell* c = slot.load(std::memory_order_relaxed)) {
+      c->samples.clear();
+      c->buckets.fill(0);
+      c->sum = 0;
+    }
+  }
   sorted_cache_.clear();
-  sorted_ = false;
-  buckets_.fill(0);
-  sum_ = 0;
+  sorted_count_ = ~std::uint64_t{0};
 }
 
 bool name_in_group(std::string_view name, std::string_view prefix) {

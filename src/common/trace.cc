@@ -1,11 +1,34 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
+#include <stdexcept>
+#include <tuple>
 
 #include "common/jsonfmt.h"
 
 namespace tio::trace {
+
+namespace {
+
+// This thread's cached shard pointer, valid only while the epoch matches
+// (Tracer::clear() bumps the epoch, orphaning every cache).
+struct TlsShardRef {
+  void* shard = nullptr;
+  std::uint64_t epoch = ~std::uint64_t{0};
+};
+thread_local TlsShardRef t_shard_ref;
+
+// This thread's active PidScope block; see PidScope.
+struct TlsPidBlock {
+  std::uint32_t next = 0;
+  std::uint32_t end = 0;
+  bool active = false;
+};
+thread_local TlsPidBlock t_pid_block;
+
+}  // namespace
 
 Tracer& Tracer::instance() {
   static auto* t = new Tracer();  // leaked: spans may outlive static dtors
@@ -13,13 +36,17 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::clear() {
-  buffers_.clear();
-  pid_counter_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  pid_counter_.store(0, std::memory_order_relaxed);
+  shard_count_.store(1, std::memory_order_relaxed);
 }
 
 std::uint32_t Tracer::intern(std::string_view s) {
   // Linear scan: interning happens once per call site (SpanSite is static
   // at the call site), and the set of distinct span names is small.
+  std::lock_guard<std::mutex> lock(mu_);
   for (std::uint32_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == s) return i;
   }
@@ -27,20 +54,47 @@ std::uint32_t Tracer::intern(std::string_view s) {
   return static_cast<std::uint32_t>(names_.size() - 1);
 }
 
-Tracer::RankBuffer& Tracer::buffer_for(int rank) {
+const std::string& Tracer::interned(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_[id];  // deque element: the reference outlives the lock
+}
+
+Tracer::Shard& Tracer::local_shard() {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (t_shard_ref.shard != nullptr && t_shard_ref.epoch == epoch) {
+    return *static_cast<Shard*>(t_shard_ref.shard);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* s = shards_.back().get();
+  t_shard_ref = {s, epoch_.load(std::memory_order_relaxed)};
+  return *s;
+}
+
+const Tracer::Shard* Tracer::local_shard_if_registered() const {
+  if (t_shard_ref.shard == nullptr ||
+      t_shard_ref.epoch != epoch_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  return static_cast<const Shard*>(t_shard_ref.shard);
+}
+
+Tracer::RankBuffer& Tracer::buffer_for(Shard& shard, int rank) {
   const auto idx = static_cast<std::size_t>(rank < 0 ? 0 : rank + 1);
-  if (idx >= buffers_.size()) buffers_.resize(idx + 1);
-  return buffers_[idx];
+  if (idx >= shard.buffers.size()) shard.buffers.resize(idx + 1);
+  return shard.buffers[idx];
 }
 
 std::uint32_t Tracer::begin_span(int rank, std::uint32_t name_id, std::uint32_t cat_id,
                                  std::uint32_t pid, std::int64_t start_ns) {
-  RankBuffer& buf = buffer_for(rank);
+  Shard& shard = local_shard();
+  RankBuffer& buf = buffer_for(shard, rank);
   SpanRecord rec;
   rec.name_id = name_id;
   rec.cat_id = cat_id;
   rec.start_ns = start_ns;
   rec.pid = pid;
+  rec.seq = shard.next_seq++;
   // Parent = innermost span of the same rank that is still open *on the
   // same engine*: a fresh rig reuses rank numbers, and its spans must not
   // nest under a finished rig's leftovers.
@@ -60,7 +114,8 @@ std::uint32_t Tracer::begin_span(int rank, std::uint32_t name_id, std::uint32_t 
 }
 
 void Tracer::end_span(int rank, std::uint32_t record, std::int64_t end_ns) {
-  RankBuffer& buf = buffer_for(rank);
+  Shard& shard = local_shard();
+  RankBuffer& buf = buffer_for(shard, rank);
   if (record >= buf.spans.size()) return;
   buf.spans[record].end_ns = end_ns;
   // Spans close LIFO per rank in well-formed code; tolerate out-of-order
@@ -74,21 +129,56 @@ void Tracer::end_span(int rank, std::uint32_t record, std::int64_t end_ns) {
 }
 
 std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& b : buffers_) n += b.spans.size();
+  for (const auto& shard : shards_) {
+    for (const auto& b : shard->buffers) n += b.spans.size();
+  }
   return n;
 }
 
 const std::vector<SpanRecord>& Tracer::rank_spans(int rank) const {
   static const std::vector<SpanRecord> empty;
+  const Shard* shard = local_shard_if_registered();
+  if (shard == nullptr) return empty;
   const auto idx = static_cast<std::size_t>(rank < 0 ? 0 : rank + 1);
-  if (idx >= buffers_.size()) return empty;
-  return buffers_[idx].spans;
+  if (idx >= shard->buffers.size()) return empty;
+  return shard->buffers[idx].spans;
 }
+
+std::uint32_t Tracer::next_pid() {
+  if (t_pid_block.active) {
+    if (t_pid_block.next >= t_pid_block.end) {
+      throw std::length_error("Tracer::next_pid: PidScope block exhausted");
+    }
+    return t_pid_block.next++;
+  }
+  return pid_counter_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t Tracer::reserve_pids(std::uint32_t count) {
+  return pid_counter_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void Tracer::note_shard_count(std::size_t n) {
+  std::size_t cur = shard_count_.load(std::memory_order_relaxed);
+  while (n > cur &&
+         !shard_count_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+  }
+}
+
+PidScope::PidScope(std::uint32_t base, std::uint32_t count)
+    : prev_next_(t_pid_block.next), prev_end_(t_pid_block.end),
+      prev_active_(t_pid_block.active) {
+  t_pid_block = {base, base + count, true};
+}
+
+PidScope::~PidScope() { t_pid_block = {prev_next_, prev_end_, prev_active_}; }
 
 std::string Tracer::to_chrome_json() const {
   // Complete ("ph":"X") events; ts/dur are microseconds by the format's
   // definition, emitted with ns resolution. Locale-independent throughout.
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   const auto emit = [&](const std::string& ev) {
@@ -99,26 +189,81 @@ std::string Tracer::to_chrome_json() const {
   };
   // Name the rank tracks once per (pid, tid) so Perfetto labels them.
   std::map<std::pair<std::uint32_t, std::uint32_t>, bool> named;
-  for (std::size_t b = 0; b < buffers_.size(); ++b) {
-    const std::uint32_t tid = static_cast<std::uint32_t>(b);
+  const auto emit_name = [&](std::uint32_t pid, std::uint32_t tid) {
+    if (named[{pid, tid}]) return;
+    named[{pid, tid}] = true;
     const std::string track =
-        b == 0 ? std::string("engine") : "rank " + std::to_string(b - 1);
-    for (const SpanRecord& rec : buffers_[b].spans) {
-      if (rec.end_ns < rec.start_ns) continue;  // never closed
-      if (!named[{rec.pid, tid}]) {
-        named[{rec.pid, tid}] = true;
-        emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(rec.pid) +
-             ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":" + json_quote(track) +
-             "}}");
+        tid == 0 ? std::string("engine") : "rank " + std::to_string(tid - 1);
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":" + json_quote(track) +
+         "}}");
+  };
+  const auto emit_event = [&](const SpanRecord& rec, std::uint32_t tid) {
+    emit("{\"name\":" + json_quote(names_[rec.name_id]) +
+         ",\"cat\":" + json_quote(names_[rec.cat_id]) +
+         ",\"ph\":\"X\",\"ts\":" + json_double(static_cast<double>(rec.start_ns) / 1e3, 3) +
+         ",\"dur\":" + json_double(static_cast<double>(rec.end_ns - rec.start_ns) / 1e3, 3) +
+         ",\"pid\":" + std::to_string(rec.pid) + ",\"tid\":" + std::to_string(tid) + "}");
+  };
+
+  // A run that stayed on one host thread exports through the pre-sharding
+  // path: per-buffer traversal in record order, no shard annotation —
+  // byte-identical to the single-threaded tracer's output.
+  std::size_t shards_with_spans = 0;
+  const Shard* only = nullptr;
+  for (const auto& shard : shards_) {
+    for (const auto& b : shard->buffers) {
+      if (!b.spans.empty()) {
+        ++shards_with_spans;
+        only = shard.get();
+        break;
       }
-      emit("{\"name\":" + json_quote(names_[rec.name_id]) +
-           ",\"cat\":" + json_quote(names_[rec.cat_id]) +
-           ",\"ph\":\"X\",\"ts\":" + json_double(static_cast<double>(rec.start_ns) / 1e3, 3) +
-           ",\"dur\":" + json_double(static_cast<double>(rec.end_ns - rec.start_ns) / 1e3, 3) +
-           ",\"pid\":" + std::to_string(rec.pid) + ",\"tid\":" + std::to_string(tid) + "}");
     }
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  const std::size_t noted = shard_count_.load(std::memory_order_relaxed);
+  if (noted <= 1 && shards_with_spans <= 1) {
+    if (only != nullptr) {
+      for (std::size_t b = 0; b < only->buffers.size(); ++b) {
+        const auto tid = static_cast<std::uint32_t>(b);
+        for (const SpanRecord& rec : only->buffers[b].spans) {
+          if (rec.end_ns < rec.start_ns) continue;  // never closed
+          emit_name(rec.pid, tid);
+          emit_event(rec, tid);
+        }
+      }
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+  }
+
+  // Multi-shard: merge every shard's buffers under a total order that does
+  // not depend on shard placement or host-thread timing. (pid, tid) pairs
+  // are unique to one shard (an engine runs on one thread), so the
+  // shard-local seq is a complete tie-break within a track.
+  struct Entry {
+    const SpanRecord* rec;
+    std::uint32_t tid;
+  };
+  std::vector<Entry> entries;
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < shard->buffers.size(); ++b) {
+      const auto tid = static_cast<std::uint32_t>(b);
+      for (const SpanRecord& rec : shard->buffers[b].spans) {
+        if (rec.end_ns < rec.start_ns) continue;  // never closed
+        entries.push_back({&rec, tid});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::tuple(a.rec->pid, a.tid, a.rec->start_ns, a.rec->seq) <
+           std::tuple(b.rec->pid, b.tid, b.rec->start_ns, b.rec->seq);
+  });
+  for (const Entry& e : entries) {
+    emit_name(e.rec->pid, e.tid);
+    emit_event(*e.rec, e.tid);
+  }
+  out += "\n],\"otherData\":{\"shards\":" + std::to_string(noted) +
+         "},\"displayTimeUnit\":\"ms\"}\n";
   return out;
 }
 

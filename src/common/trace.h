@@ -20,11 +20,24 @@
 //     In the exported trace each rank is a Chrome "thread" (tid = rank+1;
 //     tid 0 holds engine-level spans) and each Engine a "process", so
 //     successive rigs in one bench don't overlap timelines.
+//   * Sharded runs (sim/sharded.h): span buffers are owned per host
+//     thread — begin/end touch only the calling thread's shard, no lock.
+//     An engine runs on exactly one host thread, so a (pid, tid) track
+//     lives wholly inside one shard. Export merges shards with a
+//     deterministic sort on (pid, tid, start, seq); combined with
+//     PidScope's deterministic pid assignment, --trace= output is
+//     byte-identical across reruns at any fixed shard count. Runs that
+//     never leave one thread export through the exact pre-sharding code
+//     path, so single-shard trace bytes are pinned.
 //   * Tracer buffers grow unboundedly while enabled; benches enable it
 //     only when --trace=<file> is given.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +61,9 @@ struct SpanRecord {
   // Index+1 of the enclosing span in the same rank buffer; 0 = top level.
   std::uint32_t parent = 0;
   std::uint32_t depth = 0;  // 0 = top level
+  // Shard-local begin order; the export sort's final tie-break, so spans
+  // opened at the same virtual time keep their program order.
+  std::uint64_t seq = 0;
 };
 
 inline constexpr std::uint32_t kNoRecord = ~std::uint32_t{0};
@@ -58,46 +74,96 @@ class Tracer {
  public:
   static Tracer& instance();
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
-  // Drops all buffered spans and per-rank state (interned names are kept).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  // Drops all buffered spans, per-rank state, pid numbering, and the noted
+  // shard count (interned names are kept). Not concurrency-safe: call only
+  // while no shard threads are running.
   void clear();
 
   // Interns a string, returning a stable id (idempotent per content).
+  // Thread-safe; the returned reference from interned() never moves.
   std::uint32_t intern(std::string_view s);
-  const std::string& interned(std::uint32_t id) const { return names_[id]; }
+  const std::string& interned(std::uint32_t id) const;
 
   // Opens a span on `rank`'s buffer (rank -1 = the engine-level track) and
-  // returns its record index, or kNoRecord when disabled.
+  // returns its record index, or kNoRecord when disabled. The record lives
+  // in the calling thread's shard; end_span must run on the same thread
+  // (spans never migrate threads — an engine is pinned to its shard).
   std::uint32_t begin_span(int rank, std::uint32_t name_id, std::uint32_t cat_id,
                            std::uint32_t pid, std::int64_t start_ns);
   // Closes the span opened as `record` on `rank`'s buffer.
   void end_span(int rank, std::uint32_t record, std::int64_t end_ns);
 
+  // Total spans across all shards (readers must be quiescent with writers).
   std::size_t span_count() const;
-  // All spans of one rank, in begin order (tests and tooling).
+  // All spans of one rank recorded *by this thread*, in begin order
+  // (tests and tooling).
   const std::vector<SpanRecord>& rank_spans(int rank) const;
 
   // Chrome trace-event JSON ({"traceEvents": [...]}); locale-independent.
-  // Open spans (begun but never ended) are omitted.
+  // Open spans (begun but never ended) are omitted. Multi-shard runs merge
+  // buffers in (pid, tid, start, seq) order and stamp the shard count into
+  // "otherData" (tools/check_trace.py --expect-shards).
   std::string to_chrome_json() const;
   // Writes to_chrome_json() to `path`; false on I/O failure.
   bool write_chrome_json(const std::string& path) const;
 
-  // Engine-instance ids ("processes" in the exported trace).
-  std::uint32_t next_pid() { return pid_counter_++; }
+  // Engine-instance ids ("processes" in the exported trace). Inside a
+  // PidScope, ids come from the scope's reserved block (deterministic
+  // regardless of thread interleaving); outside, from a global counter.
+  std::uint32_t next_pid();
+  // Reserves `count` consecutive pids and returns the first — the blocks
+  // PidScope hands out. A shard pool reserves jobs*stride upfront so job j
+  // always gets the same pids at any shard count, including 1.
+  std::uint32_t reserve_pids(std::uint32_t count);
+
+  // Records that this run used `n` shards (keeps the max; clear() resets
+  // to 1). A count > 1 switches export to the sorted multi-shard path.
+  void note_shard_count(std::size_t n);
+  std::size_t shard_count() const { return shard_count_.load(std::memory_order_relaxed); }
 
  private:
   struct RankBuffer {
     std::vector<SpanRecord> spans;
     std::vector<std::uint32_t> open;  // indices of currently open spans
   };
-  RankBuffer& buffer_for(int rank);
+  // One host thread's private buffers. Registered on first use; only the
+  // owning thread writes, merges happen while writers are quiescent.
+  struct Shard {
+    std::vector<RankBuffer> buffers;  // [0] = engine track, [r+1] = rank r
+    std::uint64_t next_seq = 0;
+  };
+  Shard& local_shard();
+  const Shard* local_shard_if_registered() const;
+  static RankBuffer& buffer_for(Shard& shard, int rank);
 
-  bool enabled_ = false;
-  std::vector<RankBuffer> buffers_;  // [0] = engine track, [r+1] = rank r
-  std::vector<std::string> names_;
-  std::uint32_t pid_counter_ = 0;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> pid_counter_{0};
+  std::atomic<std::size_t> shard_count_{1};
+  // Bumped by clear() so threads drop their cached shard pointers.
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex mu_;  // guards shards_ registration and names_
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::deque<std::string> names_;  // deque: interned() references stay valid
+};
+
+// RAII deterministic pid block: while active, this thread's next_pid()
+// draws consecutive ids from [base, base + count). A shard-pool job wraps
+// itself in one so engine pids depend on the job index, not on which
+// thread ran the job or when. Throws std::length_error when a job creates
+// more engines than its block holds. Scopes nest (LIFO) per thread.
+class PidScope {
+ public:
+  PidScope(std::uint32_t base, std::uint32_t count);
+  ~PidScope();
+  PidScope(const PidScope&) = delete;
+  PidScope& operator=(const PidScope&) = delete;
+
+ private:
+  std::uint32_t prev_next_;
+  std::uint32_t prev_end_;
+  bool prev_active_;
 };
 
 // Pre-resolved identity of a span call site: interned name/category ids

@@ -1,5 +1,6 @@
 #include "mpisim/runtime.h"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "mpisim/comm.h"
@@ -16,6 +17,9 @@ std::size_t Runtime::node_of(int rank) const {
 }
 
 sim::Queue<std::any>& Runtime::mailbox(const MailboxKey& key) {
+  // Mailboxes (and their recycling lists) belong to one engine and are
+  // unsynchronized; all ranks of a runtime must run on that engine's shard.
+  assert(engine().is_current() && "Runtime::mailbox used off its engine's shard");
   auto& slot = mailboxes_[key];
   if (slot == nullptr) {
     if (!idle_queues_.empty()) {

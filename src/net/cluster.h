@@ -44,6 +44,15 @@ struct ClusterConfig {
   double page_cache_bandwidth = 4.0e9;                // cached-read service rate
 
   std::size_t total_cores() const { return nodes * cores_per_node; }
+
+  // The smallest latency any cross-node interaction carries — the natural
+  // conservative lookahead for sharded simulation (sim/sharded.h): an
+  // event produced at virtual time t on one shard cannot affect state on
+  // another shard before t + min_remote_latency(), so engines may advance
+  // through [T, T + min_remote_latency()) without hearing from each other.
+  Duration min_remote_latency() const {
+    return fabric_latency < storage_net_latency ? fabric_latency : storage_net_latency;
+  }
 };
 
 class Cluster {

@@ -37,9 +37,23 @@ Driver drive(Engine* engine, Task<void> process) {
   }
 }
 
+// The engine currently dispatching an event on this thread (set around the
+// callback in step()); backs Engine::is_current().
+thread_local const Engine* t_current_engine = nullptr;
+
+struct CurrentEngineScope {
+  const Engine* prev;
+  explicit CurrentEngineScope(const Engine* e) : prev(t_current_engine) {
+    t_current_engine = e;
+  }
+  ~CurrentEngineScope() { t_current_engine = prev; }
+};
+
 }  // namespace
 
 Engine::~Engine() = default;
+
+bool Engine::is_current() const { return t_current_engine == this; }
 
 void Engine::at(TimePoint t, MoveFn<void()> fn) {
   if (t < now_) throw std::logic_error("Engine::at: scheduling into the past");
@@ -110,8 +124,33 @@ bool Engine::step() {
   // may schedule new events, and the freed slot lets it reuse this one.
   MoveFn<void()> fn = std::move(slot(idx));
   free_.push_back(idx);
-  if (fn) fn();
+  if (fn) {
+    CurrentEngineScope scope(this);
+    fn();
+  }
   return true;
+}
+
+std::int64_t Engine::next_event_ns() const {
+  std::int64_t t = std::numeric_limits<std::int64_t>::max();
+  if (!heap_.empty()) t = heap_.top().when_ns;
+  // FIFO entries run at now_, and heap entries never sort before now_.
+  if (today_head_ < today_.size()) t = now_.to_ns();
+  return t;
+}
+
+std::uint64_t Engine::run_until(std::int64_t horizon_ns) {
+  const std::uint64_t start = events_processed_;
+  while (next_event_ns() < horizon_ns && step()) {
+  }
+  return events_processed_ - start;
+}
+
+void Engine::rethrow_pending_error() {
+  if (process_error_) {
+    auto err = std::exchange(process_error_, nullptr);
+    std::rethrow_exception(err);
+  }
 }
 
 std::uint64_t Engine::run() {
@@ -132,10 +171,7 @@ std::uint64_t Engine::run() {
                            .count();
   counter("sim.engine.run_wall_ns").add(static_cast<std::uint64_t>(wall_ns));
   publish_counters();
-  if (process_error_) {
-    auto err = std::exchange(process_error_, nullptr);
-    std::rethrow_exception(err);
-  }
+  rethrow_pending_error();
   return events_processed_ - start;
 }
 

@@ -72,6 +72,27 @@ class Engine {
   // Processes a single event; returns false when the queue is empty.
   bool step();
 
+  // Sharded-execution hooks (sim/sharded.h) — the conservative-window
+  // driver interleaves engines one bounded window at a time.
+  //
+  // Virtual time of the next pending event; INT64_MAX when idle.
+  std::int64_t next_event_ns() const;
+  // Processes events with time strictly before `horizon_ns` (the exclusive
+  // window edge), then stops; returns the number of events run. Does not
+  // publish counters or rethrow process errors — the window driver does
+  // both once, at end of run.
+  std::uint64_t run_until(std::int64_t horizon_ns);
+  // Flushes this engine's deltas into the process-global sim.engine.*
+  // counters (run() does this automatically; window drivers call it once
+  // at the end).
+  void publish_counters();
+  // Rethrows (and clears) the first error a detached process recorded.
+  void rethrow_pending_error();
+  // True while this engine is dispatching an event on the calling thread.
+  // Sync primitives assert this in debug builds: a coroutine bound to an
+  // engine must only await on the shard thread currently running it.
+  bool is_current() const;
+
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t processes_alive() const { return processes_alive_; }
 
@@ -114,8 +135,6 @@ class Engine {
       return a.key < b.key;
     }
   };
-
-  void publish_counters();
 
   // Chunked slab of pending callables: growth appends a fixed-size chunk,
   // so existing slots never move (no per-element relocation on growth) and

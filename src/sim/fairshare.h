@@ -10,6 +10,7 @@
 // concurrent streams.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -33,7 +34,11 @@ class FairShareChannel {
     FairShareChannel* channel;
     std::uint64_t bytes;
     bool await_ready() const noexcept { return bytes == 0; }
-    void await_suspend(std::coroutine_handle<> h) { channel->start_transfer(bytes, h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(channel->engine_.is_current() &&
+             "FairShareChannel awaited off its engine's shard");
+      channel->start_transfer(bytes, h);
+    }
     void await_resume() const noexcept {}
   };
   Awaiter transfer(std::uint64_t bytes) { return Awaiter{this, bytes}; }

@@ -8,8 +8,13 @@
 // link pointer, and the awaiter object lives inside the suspended
 // coroutine's frame, so parking a process on a mutex, semaphore, barrier,
 // gate, or channel allocates nothing — no vector/deque churn per wait.
+// Shard affinity: a primitive belongs to one engine, and its waiter lists
+// are unsynchronized — every await must happen on the host thread currently
+// running that engine (sim/sharded.h pins an engine to one shard). Debug
+// builds assert this at each suspension point.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstddef>
 #include <deque>
@@ -70,6 +75,7 @@ class Gate {
     Awaiter* next = nullptr;
     bool await_ready() const noexcept { return gate->open_; }
     void await_suspend(std::coroutine_handle<> h) {
+      assert(gate->engine_.is_current() && "Gate awaited off its engine's shard");
       handle = h;
       gate->waiters_.push_back(this);
     }
@@ -110,6 +116,7 @@ class Semaphore {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      assert(sem->engine_.is_current() && "Semaphore awaited off its engine's shard");
       handle = h;
       sem->waiters_.push_back(this);
     }
@@ -187,6 +194,7 @@ class Barrier {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      assert(barrier->engine_.is_current() && "Barrier awaited off its engine's shard");
       ++barrier->arrived_;
       handle = h;
       barrier->waiters_.push_back(this);
@@ -247,6 +255,7 @@ class Queue {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      assert(queue->engine_.is_current() && "Queue awaited off its engine's shard");
       handle = h;
       queue->poppers_.push_back(this);
     }

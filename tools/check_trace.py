@@ -10,9 +10,13 @@ Checks, per engine ("pid" in the trace):
      (the critical-path rank every other rank waits for at the barrier)
      accounts for the window's duration to within --tolerance (default 1%).
 
+With --expect-shards=N, additionally asserts the document was exported by
+an N-shard run: multi-shard traces carry {"otherData": {"shards": N}},
+single-shard traces omit the key (implied 1).
+
 Exit status 0 when every window passes, 1 otherwise.
 
-Usage: check_trace.py TRACE.json [--tolerance=0.01] [--verbose]
+Usage: check_trace.py TRACE.json [--tolerance=0.01] [--expect-shards=N] [--verbose]
 """
 
 import json
@@ -23,10 +27,13 @@ from collections import defaultdict
 def main(argv):
     tolerance = 0.01
     verbose = False
+    expect_shards = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
             tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--expect-shards="):
+            expect_shards = int(arg.split("=", 1)[1])
         elif arg == "--verbose":
             verbose = True
         else:
@@ -39,6 +46,13 @@ def main(argv):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         raise SystemExit(f"{path}: no traceEvents list")
+
+    if expect_shards is not None:
+        got = doc.get("otherData", {}).get("shards", 1)
+        if got != expect_shards:
+            print(f"{path}: expected a {expect_shards}-shard trace, got shards={got}",
+                  file=sys.stderr)
+            return 1
 
     # (pid, tid) -> list of (ts, dur, name, cat) complete spans.
     spans = defaultdict(list)
