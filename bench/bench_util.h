@@ -153,7 +153,8 @@ inline void print_index_counters() {
 inline void json_counters(std::FILE* f) {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   for (const char* prefix :
-       {"plfs.index", "plfs.index_cache", "plfs.fault", "plfs.retry", "plfs.degrade"}) {
+       {"plfs.index", "plfs.index_cache", "plfs.fault", "plfs.retry", "plfs.degrade",
+        "iolib.cb"}) {
     const auto group = counter_snapshot(prefix);
     counters.insert(counters.end(), group.begin(), group.end());
   }
@@ -217,6 +218,48 @@ inline void print_histograms() {
                  static_cast<long long>(h->percentile(90)),
                  static_cast<long long>(h->percentile(99)), static_cast<long long>(h->max()));
   }
+}
+
+// Collective-buffering instrumentation (message census, bytes shipped
+// across nodes, sieve activity). stderr, like the other counter dumps, so
+// stdout stays byte-comparable across runs.
+inline void print_cb_counters() {
+  const auto counters = counter_snapshot("iolib.cb");
+  if (counters.empty()) return;
+  std::fprintf(stderr, "\n-- collective-buffering counters --\n");
+  for (const auto& [name, value] : counters) {
+    std::fprintf(stderr, "%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+}
+
+// Shared CbConfig flags for the benches that drive the collective layer.
+struct CbFlags {
+  std::int64_t* aggregators;
+  std::int64_t* buffer_mib;
+  bool* node_agg;
+  double* sieve_threshold;
+};
+
+inline CbFlags add_cb_flags(FlagSet& flags) {
+  CbFlags cb;
+  cb.aggregators = flags.add_i64("cb-aggregators", 0,
+                                 "collective-buffering aggregator count (0 = one per node)");
+  cb.buffer_mib = flags.add_i64("cb-buffer-mib", 4, "collective buffer size per access, MiB");
+  cb.node_agg = flags.add_bool("cb-node-agg", false,
+                               "coalesce requests at per-node leaders before the exchange");
+  cb.sieve_threshold = flags.add_f64(
+      "cb-sieve-threshold", 0.0,
+      "read-side data sieving: bridge holes while hole/useful <= threshold (0 = off)");
+  return cb;
+}
+
+inline iolib::CbConfig cb_config_of(const CbFlags& cb) {
+  iolib::CbConfig config;
+  config.aggregators = static_cast<int>(*cb.aggregators);
+  config.buffer_bytes = static_cast<std::uint64_t>(*cb.buffer_mib) << 20;
+  config.node_aggregation = *cb.node_agg;
+  config.sieve_threshold = *cb.sieve_threshold;
+  return config;
 }
 
 // Shared --shards flag: how many OS threads to spread independent

@@ -10,6 +10,13 @@
 //   5e LANL 1   — PLFS wins everywhere, max ~10x
 //   5f LANL 3   — near parity; PLFS slightly ahead at the largest scale
 // All PLFS reads use Parallel Index Read (chosen as the default).
+//
+// The collective-buffering kernels (5f, and the optional --noncontig
+// table) honor the shared --cb-* flags, so the intra-node aggregation and
+// data-sieving pipeline can be measured here directly; per-row iolib.cb.*
+// counter deltas land in the --json report.
+#include <array>
+
 #include "bench_util.h"
 
 using namespace tio;
@@ -26,23 +33,48 @@ double read_bw(const JobSpec& base, Access access, int procs) {
   return run_job(rig, procs, spec).read.effective_bw();
 }
 
-void kernel_table(const std::string& title, const std::string& ref,
-                  const std::vector<int>& procs, std::size_t shards,
-                  const std::function<JobSpec(int)>& make) {
+struct Cell {
+  double direct, plfs;
+  // iolib.cb.* deltas over both cells' runs (zero for non-collective
+  // kernels); local_value() so concurrent shard rows can't bleed in.
+  std::uint64_t fabric_msgs, local_msgs, bytes_shipped, pfs_ops, sieve_joins;
+};
+
+struct KernelRows {
+  std::string key;
+  std::vector<int> procs;
+  std::vector<Cell> cells;
+};
+
+KernelRows kernel_table(const std::string& key, const std::string& title,
+                        const std::string& ref, const std::vector<int>& procs,
+                        std::size_t shards, const std::function<JobSpec(int)>& make) {
   bench::print_header(title, ref);
   // Every (procs, access) cell is an independent simulation; spread the rows
   // across shard threads, submitting in the serial bench's execution order.
-  struct Cell {
-    double direct, plfs;
-  };
   std::vector<Cell> cells(procs.size());
   sim::ShardPool pool(shards);
   for (std::size_t i = 0; i < procs.size(); ++i) {
     const int n = procs[i];
     pool.submit([&cells, &make, i, n] {
+      const auto cb_before = [] {
+        return std::array<std::uint64_t, 5>{
+            counter("iolib.cb.fabric_msgs").local_value(),
+            counter("iolib.cb.local_msgs").local_value(),
+            counter("iolib.cb.bytes_shipped").local_value(),
+            counter("iolib.cb.pfs_ops").local_value(),
+            counter("iolib.cb.sieve_joins").local_value()};
+      };
+      const auto before = cb_before();
       const JobSpec spec = make(n);
       cells[i].direct = read_bw(spec, Access::direct_n1, n);
       cells[i].plfs = read_bw(spec, Access::plfs_n1, n);
+      const auto after = cb_before();
+      cells[i].fabric_msgs = after[0] - before[0];
+      cells[i].local_msgs = after[1] - before[1];
+      cells[i].bytes_shipped = after[2] - before[2];
+      cells[i].pfs_ops = after[3] - before[3];
+      cells[i].sieve_joins = after[4] - before[4];
     });
   }
   pool.run_all();
@@ -53,64 +85,135 @@ void kernel_table(const std::string& title, const std::string& ref,
                Table::num(cells[i].plfs / cells[i].direct, 2) + "x"});
   }
   t.print(std::cout);
+  return KernelRows{key, procs, std::move(cells)};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::setlocale(LC_ALL, "");  // stdout tables honor the user's locale; JSON must not
   FlagSet flags("fig5_kernels: kernel read bandwidth, PLFS vs direct");
   auto* max_procs = flags.add_i64("max-procs", 512, "largest process count");
   auto* scale_mib = flags.add_i64("scale-mib", 8,
                                   "per-process data scale in MiB (paper used up to 1 GB)");
   auto* shards_flag = bench::add_shards_flag(flags);
+  const bench::CbFlags cb_flags = bench::add_cb_flags(flags);
+  auto* with_noncontig = flags.add_bool(
+      "noncontig", false, "also run the noncontiguous field-access kernel (sieving showcase)");
+  auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
+  auto* trace_path = bench::add_trace_flag(flags);
   if (auto st = flags.parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     return 1;
   }
+  bench::start_trace(*trace_path);
   const std::size_t shards = bench::shards_or_die(*shards_flag);
   const auto procs = bench::sweep(32, static_cast<int>(*max_procs));
   const std::uint64_t scale = static_cast<std::uint64_t>(*scale_mib) << 20;
+  const iolib::CbConfig cb = bench::cb_config_of(cb_flags);
+
+  std::vector<KernelRows> results;
 
   // Pixie3D writes very large contiguous slabs (1 GB/proc in the paper):
   // scaled up 16x relative to the other kernels so slab sizes stay
   // representative and direct access can stream.
-  kernel_table("Fig. 5a — Pixie3D (pnetcdf, weak scaling)",
-               "direct wins small; PLFS scales better and wins large", procs, shards,
-               [&](int n) { return pixie3d(n, 16 * scale, 8, {}); });
+  results.push_back(kernel_table("pixie3d", "Fig. 5a — Pixie3D (pnetcdf, weak scaling)",
+                                 "direct wins small; PLFS scales better and wins large", procs,
+                                 shards, [&](int n) { return pixie3d(n, 16 * scale, 8, {}); }));
 
   // ARAMCO is strong scaling: the dataset is fixed, so per-process data
   // shrinks as procs grow while index-aggregation cost does not.
-  kernel_table("Fig. 5b — ARAMCO (HDF5, strong scaling)",
-               "PLFS up to ~8x at low counts; direct wins at scale", procs, shards, [&](int n) {
-                 (void)n;
-                 return aramco(n, 8 * scale, 1_MiB, {});
-               });
+  results.push_back(kernel_table(
+      "aramco", "Fig. 5b — ARAMCO (HDF5, strong scaling)",
+      "PLFS up to ~8x at low counts; direct wins at scale", procs, shards, [&](int n) {
+        (void)n;
+        return aramco(n, 8 * scale, 1_MiB, {});
+      }));
 
-  kernel_table("Fig. 5c — IOR (N-1, 1 MiB records)",
-               "PLFS wins at all process counts (up to ~4.5x)", procs, shards, [&](int n) {
-                 (void)n;
-                 JobSpec spec;
-                 spec.file = "ior";
-                 spec.ops = strided_ops(scale, 1_MiB);
-                 return spec;
-               });
+  results.push_back(kernel_table("ior", "Fig. 5c — IOR (N-1, 1 MiB records)",
+                                 "PLFS wins at all process counts (up to ~4.5x)", procs, shards,
+                                 [&](int n) {
+                                   (void)n;
+                                   JobSpec spec;
+                                   spec.file = "ior";
+                                   spec.ops = strided_ops(scale, 1_MiB);
+                                   return spec;
+                                 }));
 
-  kernel_table("Fig. 5d — MADbench (out-of-core matrices)", "PLFS wins", procs, shards,
-               [&](int n) {
-                 (void)n;
-                 return madbench(scale / 2, 2, {});
-               });
+  results.push_back(kernel_table("madbench", "Fig. 5d — MADbench (out-of-core matrices)",
+                                 "PLFS wins", procs, shards, [&](int n) {
+                                   (void)n;
+                                   return madbench(scale / 2, 2, {});
+                                 }));
 
-  kernel_table("Fig. 5e — LANL 1 (weak scaling, ~500 KB strided)",
-               "PLFS wins everywhere; paper max ~10x at 384 procs", procs, shards,
-               [&](int n) {
-                 (void)n;
-                 return lanl1(scale, {});
-               });
+  results.push_back(kernel_table("lanl1", "Fig. 5e — LANL 1 (weak scaling, ~500 KB strided)",
+                                 "PLFS wins everywhere; paper max ~10x at 384 procs", procs,
+                                 shards, [&](int n) {
+                                   (void)n;
+                                   return lanl1(scale, {});
+                                 }));
 
-  kernel_table("Fig. 5f — LANL 3 (strong scaling, 1 KiB records, collective buffering)",
-               "near parity; PLFS slightly ahead at the largest scale", procs, shards,
-               [&](int n) { return lanl3(n, 16 * scale, {}); });
+  results.push_back(kernel_table(
+      "lanl3", "Fig. 5f — LANL 3 (strong scaling, 1 KiB records, collective buffering)",
+      "near parity; PLFS slightly ahead at the largest scale", procs, shards,
+      [&](int n) { return lanl3(n, 16 * scale, {}, cb); }));
+
+  if (*with_noncontig) {
+    // Off by default so the six-table stdout stays byte-identical to the
+    // historical output; the sieving sweep turns it on.
+    results.push_back(kernel_table(
+        "noncontig", "Noncontig — field access (1 KiB fields, 4 KiB elements)",
+        "request runs leave holes; read-side sieving collapses pfs ops", procs, shards,
+        [&](int n) { return noncontig(n, 16 * scale, 1024, 4096, {}, cb); }));
+  }
+
+  if (!json_path->empty()) {
+    std::FILE* f = std::fopen(json_path->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open --json file: %s\n", json_path->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig5_kernels\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"max_procs\": %lld, \"scale_mib\": %lld, \"shards\": %zu, "
+                 "\"cb_aggregators\": %lld, \"cb_buffer_mib\": %lld, \"cb_node_agg\": %s, "
+                 "\"cb_sieve_threshold\": %s, \"noncontig\": %s},\n",
+                 static_cast<long long>(*max_procs), static_cast<long long>(*scale_mib), shards,
+                 static_cast<long long>(*cb_flags.aggregators),
+                 static_cast<long long>(*cb_flags.buffer_mib),
+                 *cb_flags.node_agg ? "true" : "false",
+                 json_double(*cb_flags.sieve_threshold, 4).c_str(),
+                 *with_noncontig ? "true" : "false");
+    std::fprintf(f, "  \"kernels\": [");
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const KernelRows& kr = results[k];
+      std::fprintf(f, "%s\n    {\"kernel\": \"%s\", \"rows\": [", k ? "," : "", kr.key.c_str());
+      for (std::size_t i = 0; i < kr.cells.size(); ++i) {
+        const Cell& c = kr.cells[i];
+        std::fprintf(f,
+                     "%s\n      {\"procs\": %d, \"direct_mbps\": %s, \"plfs_mbps\": %s, "
+                     "\"cb\": {\"fabric_msgs\": %llu, \"local_msgs\": %llu, "
+                     "\"bytes_shipped\": %llu, \"pfs_ops\": %llu, \"sieve_joins\": %llu}}",
+                     i ? "," : "", kr.procs[i], json_double(bench::mbps(c.direct), 3).c_str(),
+                     json_double(bench::mbps(c.plfs), 3).c_str(),
+                     static_cast<unsigned long long>(c.fabric_msgs),
+                     static_cast<unsigned long long>(c.local_msgs),
+                     static_cast<unsigned long long>(c.bytes_shipped),
+                     static_cast<unsigned long long>(c.pfs_ops),
+                     static_cast<unsigned long long>(c.sieve_joins));
+      }
+      std::fprintf(f, "\n    ]}");
+    }
+    std::fprintf(f, "\n  ],\n");
+    bench::json_counters(f);
+    bench::json_histograms(f);
+    std::fprintf(f, "  \"schema\": 2\n}\n");
+    std::fclose(f);
+  }
+
+  bench::finish_trace(*trace_path);
+  bench::print_cb_counters();
+  bench::print_histograms();
   bench::print_sim_counters();
   return 0;
 }

@@ -34,6 +34,9 @@ ctest --preset asan -j "$jobs" -R \
 echo "==> chaos suite under ASan/UBSan (fault injection, retry, degradation)"
 ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|RetryBudget|Timeout|Status)\.'
 
+echo "==> collective-buffering suites under ASan/UBSan (pipeline, sieving, node plan)"
+ctest --preset asan -j "$jobs" -R '^(CbDifferential|CbSieve|CbNodePlan|CbWrite|CbRead|CbAggregators)\.'
+
 echo "==> trace + stats + jsonfmt suites under ASan/UBSan"
 ctest --preset asan -j "$jobs" -R '^(TraceTest|Histograms|Series|Counters|Grouping|JsonDouble|JsonQuote)\.'
 
@@ -50,6 +53,12 @@ echo "==> sim + mpisim suites and the cross-shard determinism matrix under TSan"
 TIO_MATRIX_RANKS=512 TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R \
   '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm)\.' \
   -E 'DeepAwaitChains'
+
+# The collective layer's sharded-counter writes (message census, sieve
+# stats) run on every shard thread; the differential suite under TSan pins
+# that those are race-free alongside the engine's own sharding.
+echo "==> collective-buffering differential suite under TSan"
+TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R '^(CbDifferential|CbSieve)\.'
 
 echo "==> fig7 under the stress fault plan must exit clean"
 ./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress >/dev/null
@@ -87,14 +96,34 @@ LC_ALL="$json_locale" ./build/bench/micro_sim --trace="$out/micro_sim_trace.json
   --benchmark_filter='BM_CoroutineHops/1000' >/dev/null 2>&1
 LC_ALL="$json_locale" ./build/bench/micro_index --trace="$out/micro_index_trace.json" \
   --benchmark_filter='BM_IndexBuildStrided/64' >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/fig5_kernels --max-procs 64 --scale-mib 2 \
+  --cb-node-agg --cb-sieve-threshold=2 --noncontig \
+  --json="$out/fig5_cb.json" --trace="$out/fig5_cb_trace.json" >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/ablation_cb_aggregation --procs 32 --total-mib 8 \
+  --json="$out/ablation_cb.json" >/dev/null 2>&1
 for f in "$out"/fig4.json "$out"/fig7.json "$out"/fig8.json \
+         "$out"/fig5_cb.json "$out"/ablation_cb.json \
          "$out"/fig4_trace.json "$out"/fig7_trace.json "$out"/fig8_trace.json \
+         "$out"/fig5_cb_trace.json \
          "$out"/micro_sim_trace.json "$out"/micro_index_trace.json; do
   python3 -m json.tool "$f" >/dev/null || { echo "invalid JSON: $f"; exit 1; }
 done
 
 echo "==> fig4 trace: per-phase open breakdown must sum to the open window (1%)"
 python3 tools/check_trace.py "$out/fig4_trace.json"
+
+echo "==> fig5 trace: cb phase spans must tile every cb.write/cb.read window"
+python3 tools/check_trace.py "$out/fig5_cb_trace.json"
+
+echo "==> fig5 stdout with the cb pipeline disabled must match the enabled-flags binary"
+# The three-phase pipeline must be invisible when off: default flags and
+# explicit --no-cb-node-agg --cb-sieve-threshold=0 take the legacy code
+# paths and must agree byte-for-byte (and across reruns).
+LC_ALL="$json_locale" ./build/bench/fig5_kernels --max-procs 64 --scale-mib 2 \
+  >"$out/fig5_run1.txt" 2>/dev/null
+LC_ALL="$json_locale" ./build/bench/fig5_kernels --max-procs 64 --scale-mib 2 \
+  --no-cb-node-agg --cb-sieve-threshold=0 >"$out/fig5_run2.txt" 2>/dev/null
+cmp "$out/fig5_run1.txt" "$out/fig5_run2.txt"
 
 echo "==> fig4 stdout must be byte-identical across reruns"
 LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 \

@@ -1,0 +1,41 @@
+#include "iolib/node_agg.h"
+
+#include <unordered_map>
+
+namespace tio::iolib {
+
+NodePlan NodePlan::build(const mpi::Comm& comm) {
+  NodePlan plan;
+  const int n = comm.size();
+  plan.node_of.resize(n);
+  std::unordered_map<std::size_t, int> dense;  // physical node -> dense id
+  dense.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const std::size_t phys = comm.node_of_rank(r);
+    auto [it, inserted] = dense.emplace(phys, static_cast<int>(plan.members.size()));
+    if (inserted) plan.members.emplace_back();
+    plan.node_of[r] = it->second;
+    plan.members[it->second].push_back(r);
+  }
+  plan.my_node = plan.node_of[comm.rank()];
+  return plan;
+}
+
+void count_binomial_gather(const mpi::Comm& comm, int root, std::uint64_t* intra,
+                           std::uint64_t* inter) {
+  const int n = comm.size();
+  // Virtual rank v sends exactly once, to parent v - lowbit(v) (see
+  // Comm::gather); translate back to comm ranks and classify by node.
+  for (int v = 1; v < n; ++v) {
+    const int src = (v + root) % n;
+    const int parent = v - (v & -v);
+    const int dst = (parent + root) % n;
+    if (comm.node_of_rank(src) == comm.node_of_rank(dst)) {
+      ++*intra;
+    } else {
+      ++*inter;
+    }
+  }
+}
+
+}  // namespace tio::iolib

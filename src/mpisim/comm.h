@@ -41,6 +41,13 @@ class Comm {
   int size() const { return static_cast<int>(group_->members.size()); }
   int global_rank() const { return group_->members[my_index_]; }
   std::size_t my_node() const { return rt_->node_of(global_rank()); }
+  // Node hosting comm rank `r`. Placement is deterministic knowledge every
+  // rank holds locally (block placement), so consulting it is free — the
+  // topology-aware layers (intra-node collective aggregation) key off it.
+  std::size_t node_of_rank(int r) const {
+    check_rank(r);
+    return rt_->node_of(group_->members[r]);
+  }
   Runtime& runtime() const { return *rt_; }
   sim::Engine& engine() const { return rt_->engine(); }
   // Mailbox context id (unique per communicator); diagnostics only.

@@ -165,4 +165,48 @@ JobSpec lanl3(int nprocs, std::uint64_t total_bytes, TargetOptions target,
   return spec;
 }
 
+JobSpec noncontig(int nprocs, std::uint64_t total_bytes, std::uint64_t field,
+                  std::uint64_t stride, TargetOptions target, iolib::CbConfig cb) {
+  JobSpec spec;
+  spec.file = "noncontig";
+  spec.target = target;
+  const std::uint64_t elements = total_bytes / stride;
+  const std::uint64_t rounds = elements / static_cast<std::uint64_t>(nprocs);
+  // Element e = round * nprocs + rank; each rank touches the leading
+  // `field` bytes of its elements, leaving a stride-field hole to the next.
+  const OpGen gen = [=](int rank, int np) {
+    std::vector<IoOp> ops;
+    ops.reserve(rounds);
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      ops.push_back(IoOp{(r * np + static_cast<std::uint64_t>(rank)) * stride, field});
+    }
+    return ops;
+  };
+  const std::uint64_t seed = spec.seed;
+
+  spec.write_fn = [gen, cb, seed](mpi::Comm& comm, Target& t) -> sim::Task<Status> {
+    std::vector<iolib::CbChunk> chunks;
+    for (const auto& op : gen(comm.rank(), comm.size())) {
+      chunks.push_back(iolib::CbChunk{op.offset, DataView::pattern(seed, op.offset, op.len)});
+    }
+    co_return co_await iolib::cb_write(comm, cb, std::move(chunks), bind_write(t));
+  };
+  spec.read_fn = [gen, cb, seed](mpi::Comm& comm, Target& t) -> sim::Task<Status> {
+    std::vector<iolib::CbRange> wants;
+    for (const auto& op : gen(comm.rank(), comm.size())) {
+      wants.push_back(iolib::CbRange{op.offset, op.len});
+    }
+    std::vector<FragmentList> got;
+    TIO_CO_RETURN_IF_ERROR(co_await iolib::cb_read(comm, cb, wants, bind_read(t), &got));
+    for (std::size_t i = 0; i < wants.size(); ++i) {
+      if (!got[i].content_equals(DataView::pattern(seed, wants[i].offset, wants[i].len))) {
+        co_return error(Errc::io_error, "noncontig: cb read verification failed");
+      }
+    }
+    co_return Status::Ok();
+  };
+  spec.bytes_override = rounds * static_cast<std::uint64_t>(nprocs) * field;
+  return spec;
+}
+
 }  // namespace tio::workloads

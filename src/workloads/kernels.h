@@ -43,5 +43,14 @@ JobSpec lanl1(std::uint64_t bytes_per_proc, TargetOptions target);
 // via MPI-IO hints (paper Section IV-D6; 32 GB total in the paper).
 JobSpec lanl3(int nprocs, std::uint64_t total_bytes, TargetOptions target,
               iolib::CbConfig cb = {});
+// Noncontiguous field access: the file is an array of `stride`-byte
+// elements and every rank touches only the leading `field` bytes of the
+// elements it owns (round-robin). Unlike LANL 3's strided records the
+// union of all ranks' requests leaves (stride - field)-byte holes between
+// runs, so this is the pattern where read-side data sieving pays off.
+// `total_bytes` is the file extent; actual data moved is
+// total_bytes * field / stride.
+JobSpec noncontig(int nprocs, std::uint64_t total_bytes, std::uint64_t field,
+                  std::uint64_t stride, TargetOptions target, iolib::CbConfig cb = {});
 
 }  // namespace tio::workloads
