@@ -89,11 +89,11 @@ inline plfs::WireFormat index_wire_or_die(const std::string& name) {
   return wire;
 }
 
-// Shared --fault_plan flag (see pfs/faulty_fs.h for the grammar; "none",
-// "transient1", "stress", or key=value pairs).
+// Shared --fault_plan flag (see pfs/faulty_fs.h for the grammar; a preset
+// name or key=value pairs).
 inline std::string* add_fault_plan_flag(FlagSet& flags) {
   return flags.add_string("fault_plan", "none",
-                          "fault plan: none|transient1|stress|key=value,...");
+                          "fault plan: none|transient1|stress|failover|partition|key=value,...");
 }
 
 // Flag-value -> FaultPlan; exits with a usage message on bad input.
@@ -106,6 +106,21 @@ inline pfs::FaultPlan fault_plan_or_die(const std::string& spec) {
   return std::move(plan.value());
 }
 
+// Shared --mds_replication flag: how the simulated metadata service
+// survives server loss (see pfs::MdsReplication).
+inline std::string* add_mds_replication_flag(FlagSet& flags) {
+  return flags.add_string("mds_replication", "none",
+                          "metadata service replication: none|raft");
+}
+
+// Flag-value -> MdsReplication; exits with a usage message on bad input.
+inline pfs::MdsReplication mds_replication_or_die(const std::string& name) {
+  if (name == "none") return pfs::MdsReplication::none;
+  if (name == "raft") return pfs::MdsReplication::raft;
+  std::fprintf(stderr, "unknown --mds_replication (want none|raft): %s\n", name.c_str());
+  std::exit(1);
+}
+
 // Fault/retry/degradation instrumentation accumulated during the run.
 // stderr on purpose: stdout must stay byte-identical across runs whether or
 // not a plan is active (the determinism check diffs it).
@@ -114,9 +129,11 @@ inline void print_fault_counters() {
   const auto retry = counter_snapshot("plfs.retry");
   const auto degrade = counter_snapshot("plfs.degrade");
   const auto direct = counter_snapshot("direct.retry");
+  const auto raft = counter_snapshot("raft");
   counters.insert(counters.end(), retry.begin(), retry.end());
   counters.insert(counters.end(), degrade.begin(), degrade.end());
   counters.insert(counters.end(), direct.begin(), direct.end());
+  counters.insert(counters.end(), raft.begin(), raft.end());
   if (counters.empty()) return;
   std::fprintf(stderr, "\n-- fault/retry counters --\n");
   for (const auto& [name, value] : counters) {
@@ -154,7 +171,7 @@ inline void json_counters(std::FILE* f) {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   for (const char* prefix :
        {"plfs.index", "plfs.index_cache", "plfs.fault", "plfs.retry", "plfs.degrade",
-        "iolib.cb"}) {
+        "iolib.cb", "raft"}) {
     const auto group = counter_snapshot(prefix);
     counters.insert(counters.end(), group.begin(), group.end());
   }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   auto* procs = flags.add_i64("procs", 128, "processes creating files");
   auto* max_files = flags.add_i64("max-files", 8192, "largest total file count");
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  auto* replication_spec = bench::add_mds_replication_flag(flags);
   auto* shards_flag = bench::add_shards_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   auto* trace_path = bench::add_trace_flag(flags);
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   }
   bench::start_trace(*trace_path);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
+  const pfs::MdsReplication replication = bench::mds_replication_or_die(*replication_spec);
   const std::size_t shards = bench::shards_or_die(*shards_flag);
   const std::vector<std::size_t> mds_counts = {1, 3, 6, 9};
   const auto file_counts = bench::sweep(1024, static_cast<int>(*max_files));
@@ -44,12 +46,13 @@ int main(int argc, char** argv) {
   // execution order and spread across shard threads.
   sim::ShardPool pool(shards);
   const int nprocs = static_cast<int>(*procs);
-  const auto storm = [&plan, nprocs](int files, std::size_t mds, bool use_plfs) {
+  const auto storm = [&plan, replication, nprocs](int files, std::size_t mds, bool use_plfs) {
     MetaSpec spec;
     spec.files_per_proc = std::max(1, files / nprocs);
     spec.use_plfs = use_plfs;
     testbed::Rig::Options o = bench::lanl_rig(mds);
     o.fault_plan = plan;
+    o.pfs.mds_replication = replication;
     testbed::Rig rig(o);
     const MetaResult r = run_metadata_storm(rig, nprocs, spec);
     return Cell{r.open_s, r.close_s};
@@ -98,9 +101,11 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"bench\": \"fig7_metadata_nn\",\n");
     std::fprintf(f,
                  "  \"config\": {\"procs\": %lld, \"max_files\": %lld, \"fault_plan\": \"%s\", "
-                 "\"shards\": %zu},\n",
+                 "\"mds_replication\": \"%.*s\", \"shards\": %zu},\n",
                  static_cast<long long>(*procs), static_cast<long long>(*max_files),
-                 plan_spec->c_str(), shards);
+                 plan_spec->c_str(),
+                 static_cast<int>(pfs::mds_replication_name(replication).size()),
+                 pfs::mds_replication_name(replication).data(), shards);
     std::fprintf(f, "  \"rows\": [");
     for (std::size_t f_i = 0; f_i < file_counts.size(); ++f_i) {
       std::fprintf(f, "%s\n    {\"files\": %d,\n     \"open_s\": {", f_i ? "," : "",

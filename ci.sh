@@ -31,8 +31,8 @@ ctest --preset asan -j "$jobs" -R \
   '^(Engine|Determinism|EventPool|FramePool|MoveFn|Mutex|Semaphore|Barrier|Gate|WaitGroup|Queue|FairShare|FcfsServer|Runtime|PageCache|Cluster|Comm)\.' \
   -E 'DeepAwaitChains'
 
-echo "==> chaos suite under ASan/UBSan (fault injection, retry, degradation)"
-ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|RetryBudget|Timeout|Status)\.'
+echo "==> chaos + raft suites under ASan/UBSan (fault injection, retry, failover)"
+ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|RetryBudget|Timeout|Status|RaftTest)\.'
 
 echo "==> collective-buffering suites under ASan/UBSan (pipeline, sieving, node plan)"
 ctest --preset asan -j "$jobs" -R '^(CbDifferential|CbSieve|CbNodePlan|CbWrite|CbRead|CbAggregators)\.'
@@ -51,7 +51,7 @@ cmake --build --preset tsan -j "$jobs"
 # oversubscribe override lets shards=4/8 paths run on small CI hosts.
 echo "==> sim + mpisim suites and the cross-shard determinism matrix under TSan"
 TIO_MATRIX_RANKS=512 TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R \
-  '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm)\.' \
+  '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm|RaftTest)\.' \
   -E 'DeepAwaitChains'
 
 # The collective layer's sharded-counter writes (message census, sieve
@@ -62,6 +62,10 @@ TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R '^(CbDifferential|C
 
 echo "==> fig7 under the stress fault plan must exit clean"
 ./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress >/dev/null
+
+echo "==> fig7 with the raft-replicated MDS must survive the stress plan"
+./build/bench/fig7_metadata_nn --procs 64 --max-files 2048 --fault_plan=stress \
+  --mds_replication=raft >/dev/null
 
 echo "==> pattern index backend exercised through the build microbench"
 ./build/bench/micro_index --index_backend=pattern \
@@ -89,6 +93,9 @@ LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-pro
   --json="$out/fig4.json" --trace="$out/fig4_trace.json" >"$out/fig4_run1.txt" 2>/dev/null
 LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
   --json="$out/fig7.json" --trace="$out/fig7_trace.json" >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  --fault_plan=failover --mds_replication=raft \
+  --json="$out/fig7_raft.json" --trace="$out/fig7_raft_trace.json" >/dev/null 2>&1
 LC_ALL="$json_locale" ./build/bench/fig8_large_scale --max-read-procs 512 \
   --max-meta-procs 256 --per-proc-mib 1 \
   --json="$out/fig8.json" --trace="$out/fig8_trace.json" >/dev/null 2>&1
@@ -101,10 +108,10 @@ LC_ALL="$json_locale" ./build/bench/fig5_kernels --max-procs 64 --scale-mib 2 \
   --json="$out/fig5_cb.json" --trace="$out/fig5_cb_trace.json" >/dev/null 2>&1
 LC_ALL="$json_locale" ./build/bench/ablation_cb_aggregation --procs 32 --total-mib 8 \
   --json="$out/ablation_cb.json" >/dev/null 2>&1
-for f in "$out"/fig4.json "$out"/fig7.json "$out"/fig8.json \
+for f in "$out"/fig4.json "$out"/fig7.json "$out"/fig7_raft.json "$out"/fig8.json \
          "$out"/fig5_cb.json "$out"/ablation_cb.json \
-         "$out"/fig4_trace.json "$out"/fig7_trace.json "$out"/fig8_trace.json \
-         "$out"/fig5_cb_trace.json \
+         "$out"/fig4_trace.json "$out"/fig7_trace.json "$out"/fig7_raft_trace.json \
+         "$out"/fig8_trace.json "$out"/fig5_cb_trace.json \
          "$out"/micro_sim_trace.json "$out"/micro_index_trace.json; do
   python3 -m json.tool "$f" >/dev/null || { echo "invalid JSON: $f"; exit 1; }
 done
@@ -130,6 +137,24 @@ LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-pro
   --trace="$out/fig4_trace2.json" >"$out/fig4_run2.txt" 2>/dev/null
 cmp "$out/fig4_run1.txt" "$out/fig4_run2.txt"
 cmp "$out/fig4_trace.json" "$out/fig4_trace2.json"
+
+echo "==> fig7 --mds_replication=none stdout must match the default byte-for-byte"
+# The raft layer must be invisible when off: the default and the explicit
+# none flag take the legacy unreplicated MDS path and must agree exactly.
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  >"$out/fig7_run_default.txt" 2>/dev/null
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  --mds_replication=none >"$out/fig7_run_none.txt" 2>/dev/null
+cmp "$out/fig7_run_default.txt" "$out/fig7_run_none.txt"
+
+echo "==> fig7 raft + failover plan stdout must be byte-identical across reruns"
+# Leader crashes, elections, and redirects are all simulated events: a
+# (seed, fault plan) pair is a pure function of its inputs.
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  --fault_plan=failover --mds_replication=raft >"$out/fig7_raft_run1.txt" 2>/dev/null
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  --fault_plan=failover --mds_replication=raft >"$out/fig7_raft_run2.txt" 2>/dev/null
+cmp "$out/fig7_raft_run1.txt" "$out/fig7_raft_run2.txt"
 
 echo "==> fig4 --shards=4 stdout must match --shards=1 byte-for-byte"
 # Sharding spreads rows across threads but every simulated result is a pure

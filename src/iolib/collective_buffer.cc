@@ -7,25 +7,25 @@
 #include "common/stats.h"
 #include "common/trace.h"
 #include "iolib/node_agg.h"
+#include "mpisim/tag_registry.h"
 #include "pfs/extent_map.h"
 
 namespace tio::iolib {
 
 namespace {
 
-// Reserved user-tag space. The legacy reply tags keep their historical
-// base; the node-aggregation phases get disjoint blocks spaced far wider
-// than any realistic aggregator count (tags must stay below the
-// collective-tag base, 1 << 20). Successive collective-buffer operations
-// are separated by their trailing barrier, so tag reuse across operations
-// can never cross-match.
-constexpr int kCbTagBase = 1000;        // aggregator -> requester replies (+ j)
-constexpr int kCbTagIntraW = 300000;    // member -> node leader, write chunks
-constexpr int kCbTagIntraR = 300001;    // member -> node leader, read pieces
-constexpr int kCbTagShipW = 400000;     // leader -> aggregator, merged chunks (+ j)
-constexpr int kCbTagShipR = 500000;     // leader -> aggregator, merged ranges (+ j)
-constexpr int kCbTagAggReply = 600000;  // aggregator -> leader, run data (+ j)
-constexpr int kCbTagFanout = 700000;    // leader -> member, piece slices
+// Tags come from the central registry (mpisim/tag_registry.h), which
+// statically asserts the blocks are pairwise disjoint and stay below the
+// collective-tag base. Successive collective-buffer operations are
+// separated by their trailing barrier, so tag reuse across operations can
+// never cross-match.
+constexpr int kCbTagBase = mpi::kCbReplyTags.base;       // aggregator -> requester (+ j)
+constexpr int kCbTagIntraW = mpi::kCbIntraTags.base;     // member -> node leader, write chunks
+constexpr int kCbTagIntraR = mpi::kCbIntraTags.base + 1; // member -> node leader, read pieces
+constexpr int kCbTagShipW = mpi::kCbShipWriteTags.base;  // leader -> aggregator, merged chunks (+ j)
+constexpr int kCbTagShipR = mpi::kCbShipReadTags.base;   // leader -> aggregator, merged ranges (+ j)
+constexpr int kCbTagAggReply = mpi::kCbAggReplyTags.base;  // aggregator -> leader, run data (+ j)
+constexpr int kCbTagFanout = mpi::kCbFanoutTags.base;    // leader -> member, piece slices
 
 // Observability (PR idiom: resolve the registry once, count relaxed).
 // fabric_msgs/local_msgs census every payload message this layer moves

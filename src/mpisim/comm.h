@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mpisim/runtime.h"
+#include "mpisim/tag_registry.h"
 #include "sim/task.h"
 
 namespace tio::mpi {
@@ -102,7 +103,9 @@ class Comm {
     if (r < 0 || r >= size()) throw std::out_of_range("Comm: bad rank");
   }
 
-  static constexpr int kCollectiveTagBase = 1 << 20;
+  // All user-visible tags live in registry blocks below this limit
+  // (mpisim/tag_registry.h); everything above is ours for collectives.
+  static constexpr int kCollectiveTagBase = kCollectiveTagLimit;
 
   Runtime* rt_;
   std::shared_ptr<const Group> group_;

@@ -6,10 +6,19 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 #include "common/units.h"
 
 namespace tio::pfs {
+
+// How the metadata service survives server loss. `none` is the paper's
+// federation: one server per namespace, ring failover + stale markers
+// above it. `raft` runs each namespace as a Raft replica group
+// (src/raft/): consistent failover, no stale markers.
+enum class MdsReplication { none, raft };
+std::string_view mds_replication_name(MdsReplication m);
 
 struct PfsConfig {
   // --- Metadata service ---
@@ -71,6 +80,22 @@ struct PfsConfig {
 
   // --- Client-visible fixed overhead per rpc ---
   Duration rpc_overhead = Duration::us(15);
+
+  // --- Metadata replication (Raft replica groups, src/raft/) ---
+  MdsReplication mds_replication = MdsReplication::none;
+  std::size_t mds_replicas = 3;
+  Duration raft_heartbeat = Duration::ms(10);
+  Duration raft_election_min = Duration::ms(50);
+  Duration raft_election_jitter = Duration::ms(50);
+  Duration raft_request_timeout = Duration::ms(40);
+  Duration raft_commit_timeout = Duration::ms(400);
+  Duration raft_redirect_backoff = Duration::ms(5);
+  std::size_t raft_compact_threshold = 1024;
+  std::size_t raft_compact_keep = 128;
+  // raft_placement[g][r] = cluster node hosting replica r of metadata
+  // group g. Empty (or wrong-sized) rows fall back to a spread that puts a
+  // group's replicas on distinct nodes; the testbed fills this in.
+  std::vector<std::vector<std::size_t>> raft_placement;
 };
 
 }  // namespace tio::pfs

@@ -49,10 +49,26 @@ std::string_view op_class_name(OpClass c) {
 
 bool FaultPlan::enabled() const {
   if (p_torn_write > 0 || crash_close_index || !outages.empty()) return true;
+  if (!server_outages.empty() || !partitions.empty()) return true;
   for (const auto& spec : ops) {
     if (spec.any()) return true;
   }
   return false;
+}
+
+FaultPlan FaultPlan::lowered_for_unreplicated() const {
+  FaultPlan lowered = *this;
+  for (const auto& so : lowered.server_outages) {
+    lowered.outages.push_back(
+        OutageWindow{"/vol" + std::to_string(so.mds), so.begin, so.end});
+  }
+  for (const auto& pw : lowered.partitions) {
+    lowered.outages.push_back(
+        OutageWindow{"/vol" + std::to_string(pw.mds), pw.begin, pw.end});
+  }
+  lowered.server_outages.clear();
+  lowered.partitions.clear();
+  return lowered;
 }
 
 bool FaultyFs::in_outage(const std::string& path) const {
@@ -251,7 +267,41 @@ bool apply_preset(std::string_view name, FaultPlan& plan) {
                                         TimePoint::from_ns(Duration::ms(250).to_ns())});
     return true;
   }
+  if (name == "failover") {
+    // Crash the leader of metadata group 1 for 150 ms starting at
+    // t=100 ms — the "leader crash at create-storm peak" scenario. Under
+    // --mds_replication=none the testbed lowers it to a /vol1 outage.
+    plan.server_outages.push_back(ServerOutage{1, -1,
+                                               TimePoint::from_ns(Duration::ms(100).to_ns()),
+                                               TimePoint::from_ns(Duration::ms(250).to_ns())});
+    return true;
+  }
+  if (name == "partition") {
+    // Isolate (rather than crash) the leader of group 1 for the same
+    // window: the group must elect around a live-but-unreachable leader,
+    // which rejoins and steps down when the partition heals.
+    plan.partitions.push_back(PartitionWindow{1,
+                                              TimePoint::from_ns(Duration::ms(100).to_ns()),
+                                              TimePoint::from_ns(Duration::ms(250).to_ns())});
+    return true;
+  }
   return false;
+}
+
+// Parses the "@START-END" window suffix (virtual milliseconds) shared by
+// the outage grammars. `value` is everything after the '@'.
+bool parse_window(std::string_view value, TimePoint* begin, TimePoint* end) {
+  const std::size_t dash = value.find('-');
+  if (dash == std::string_view::npos) return false;
+  double begin_ms = 0.0;
+  double end_ms = 0.0;
+  if (!parse_f64(value.substr(0, dash), &begin_ms) ||
+      !parse_f64(value.substr(dash + 1), &end_ms) || end_ms < begin_ms) {
+    return false;
+  }
+  *begin = TimePoint::from_ns(Duration::seconds(begin_ms * 1e-3).to_ns());
+  *end = TimePoint::from_ns(Duration::seconds(end_ms * 1e-3).to_ns());
+  return true;
 }
 
 }  // namespace
@@ -316,6 +366,34 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
           std::string(value.substr(0, at)),
           TimePoint::from_ns(Duration::seconds(begin_ms * 1e-3).to_ns()),
           TimePoint::from_ns(Duration::seconds(end_ms * 1e-3).to_ns())});
+    } else if (key == "server_outage") {
+      // G:R@START-END; R is a replica index or "leader".
+      const std::size_t colon = value.find(':');
+      const std::size_t at = value.find('@');
+      if (colon == std::string_view::npos || at == std::string_view::npos || at < colon) {
+        return bad();
+      }
+      ServerOutage so;
+      if (!parse_u64(value.substr(0, colon), &u)) return bad();
+      so.mds = static_cast<int>(u);
+      const std::string_view rep = value.substr(colon + 1, at - colon - 1);
+      if (rep == "leader") {
+        so.replica = -1;
+      } else {
+        if (!parse_u64(rep, &u)) return bad();
+        so.replica = static_cast<int>(u);
+      }
+      if (!parse_window(value.substr(at + 1), &so.begin, &so.end)) return bad();
+      plan.server_outages.push_back(so);
+    } else if (key == "partition") {
+      // G@START-END.
+      const std::size_t at = value.find('@');
+      if (at == std::string_view::npos) return bad();
+      PartitionWindow pw;
+      if (!parse_u64(value.substr(0, at), &u)) return bad();
+      pw.mds = static_cast<int>(u);
+      if (!parse_window(value.substr(at + 1), &pw.begin, &pw.end)) return bad();
+      plan.partitions.push_back(pw);
     } else {
       OpClass c;
       const std::size_t dot = key.find('.');
@@ -369,6 +447,15 @@ std::string FaultPlan::to_string() const {
   for (const auto& w : outages) {
     out += str_printf(",outage=%s@%.0f-%.0f", w.path_prefix.c_str(),
                       (w.begin - TimePoint()).to_ms(), (w.end - TimePoint()).to_ms());
+  }
+  for (const auto& so : server_outages) {
+    const std::string rep = so.replica < 0 ? "leader" : std::to_string(so.replica);
+    out += str_printf(",server_outage=%d:%s@%.0f-%.0f", so.mds, rep.c_str(),
+                      (so.begin - TimePoint()).to_ms(), (so.end - TimePoint()).to_ms());
+  }
+  for (const auto& pw : partitions) {
+    out += str_printf(",partition=%d@%.0f-%.0f", pw.mds,
+                      (pw.begin - TimePoint()).to_ms(), (pw.end - TimePoint()).to_ms());
   }
   return out;
 }

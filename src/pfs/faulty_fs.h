@@ -59,10 +59,35 @@ struct OutageWindow {
   TimePoint end;
 };
 
+// A server-targeted outage: crash replica `replica` of metadata group
+// `mds` at `begin` and restart it at `end`. replica == -1 resolves to
+// whichever replica leads the group when the window opens, so chaos plans
+// can kill exactly the leader. In an unreplicated deployment
+// (mds_replication=none) the testbed lowers each server outage to a
+// path-prefix outage of the group's namespace ("/vol<mds>"), so one plan
+// drives the Raft-vs-stale-marker comparison.
+struct ServerOutage {
+  int mds = 0;
+  int replica = -1;  // -1 = the leader at window start
+  TimePoint begin;
+  TimePoint end;
+};
+
+// A network partition window: the leader of group `mds` at `begin` is
+// isolated from its peers and from clients until `end`. Lowered to a
+// path-prefix outage in unreplicated mode, like ServerOutage.
+struct PartitionWindow {
+  int mds = 0;
+  TimePoint begin;
+  TimePoint end;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 0x5eedfa17;
   FaultSpec ops[kNumOpClasses];
   std::vector<OutageWindow> outages;
+  std::vector<ServerOutage> server_outages;
+  std::vector<PartitionWindow> partitions;
   // Probability that a write is torn: only k < n bytes reach the backend
   // and k is returned (the caller must detect and resume).
   double p_torn_write = 0.0;
@@ -75,7 +100,8 @@ struct FaultPlan {
   const FaultSpec& spec(OpClass c) const { return ops[static_cast<std::size_t>(c)]; }
 
   // Parses a plan spec: either a preset name ("none", "transient1",
-  // "stress") or a comma-separated key=value list. Keys:
+  // "stress", "failover", "partition") or a comma-separated key=value
+  // list. Keys:
   //   seed=N                     jitter/draw seed
   //   io=P busy=P stale=P        transient probability, all op classes
   //   spike=P spike_ms=N         latency spike probability and length
@@ -84,9 +110,21 @@ struct FaultPlan {
   //   torn=P                     torn-write probability
   //   crash_close_index=0|1      tear global.index at first close
   //   outage=PREFIX@START-END    outage window, virtual ms (repeatable)
+  //   server_outage=G:R@START-END
+  //                              crash replica R (an index, or "leader")
+  //                              of metadata group G for the window,
+  //                              virtual ms (repeatable)
+  //   partition=G@START-END      isolate group G's leader for the window,
+  //                              virtual ms (repeatable)
   // Presets may be extended: "stress,seed=9" starts from the preset.
   static Result<FaultPlan> parse(std::string_view spec);
   std::string to_string() const;
+
+  // Rewrites server-targeted faults for an unreplicated deployment: each
+  // server outage / partition of group G becomes a path-prefix outage of
+  // "/volG" (the single server *is* the namespace), so the same plan spec
+  // drives both --mds_replication modes.
+  FaultPlan lowered_for_unreplicated() const;
 };
 
 class FaultyFs : public FsClient {

@@ -1,19 +1,176 @@
 #include "pfs/sim_pfs.h"
 
 #include <algorithm>
+#include <any>
+#include <utility>
 
 #include "common/strutil.h"
+#include "pfs/faulty_fs.h"
 
 namespace tio::pfs {
 
+std::string_view mds_replication_name(MdsReplication m) {
+  switch (m) {
+    case MdsReplication::none: return "none";
+    case MdsReplication::raft: return "raft";
+  }
+  return "?";
+}
+
+// The replicated state machine: MetaCommands applied to ns_ at commit.
+// apply() runs exactly once per committed index group-wide (the Raft layer
+// guarantees it), so the creates counter and object table mutations happen
+// once no matter how many replicas or client retries were involved.
+struct SimPfs::MetaSm : raft::StateMachine {
+  explicit MetaSm(SimPfs& fs) : fs(fs) {}
+
+  std::any apply(raft::Index, const std::any& cmd) override {
+    if (!cmd.has_value()) return {};  // leader no-op barrier entry
+    const auto& mc = std::any_cast<const MetaCommand&>(cmd);
+    ++applied_ops;
+    MetaApply out;
+    switch (mc.kind) {
+      case MetaCommand::Kind::create: {
+        auto created = fs.ns_.create_file(mc.path, mc.excl);
+        if (!created.ok()) {
+          out.status = created.status();
+          break;
+        }
+        out.oid = created->oid;
+        out.created = created->created;
+        if (created->created) {
+          ++fs.stats_.creates;
+          fs.object(out.oid).mtime = fs.engine().now();
+        }
+        break;
+      }
+      case MetaCommand::Kind::mkdir:
+        out.status = fs.ns_.mkdir(mc.path);
+        break;
+      case MetaCommand::Kind::rmdir:
+        out.status = fs.ns_.rmdir(mc.path);
+        break;
+      case MetaCommand::Kind::unlink: {
+        auto removed = fs.ns_.unlink(mc.path);
+        if (!removed.ok()) {
+          out.status = removed.status();
+          break;
+        }
+        fs.objects_.erase(removed.value());
+        break;
+      }
+      case MetaCommand::Kind::rename:
+        out.status = fs.ns_.rename(mc.path, mc.path2);
+        break;
+    }
+    return out;
+  }
+
+  Duration apply_service(const std::any& cmd) const override {
+    if (!cmd.has_value()) return Duration::zero();
+    const auto& mc = std::any_cast<const MetaCommand&>(cmd);
+    // Same serialized-insert degradation as the unreplicated dir_mutation
+    // path: the log already serializes mutations, but each one still costs
+    // directory-size-dependent MDS service time.
+    const auto dir_cost = [&](const std::string& p) {
+      const std::string parent(path_dirname(p));
+      const std::uint64_t entries = fs.ns_.dir_entry_count(parent);
+      const double degrade = 1.0 + static_cast<double>(entries) /
+                                       static_cast<double>(fs.config_.dir_degrade_entries);
+      return Duration::seconds(fs.config_.dir_insert_time.to_seconds() * degrade);
+    };
+    switch (mc.kind) {
+      case MetaCommand::Kind::create:
+        return dir_cost(mc.path) + fs.config_.mds_create_time;
+      case MetaCommand::Kind::rename: {
+        Duration d = dir_cost(mc.path);
+        if (path_dirname(mc.path) != path_dirname(mc.path2)) {
+          d = d + dir_cost(mc.path2);
+        }
+        return d;
+      }
+      default:
+        return dir_cost(mc.path);
+    }
+  }
+
+  std::uint64_t snapshot_bytes() const override { return 4096 + 128 * applied_ops; }
+
+  SimPfs& fs;
+  std::uint64_t applied_ops = 0;
+};
+
 SimPfs::SimPfs(net::Cluster& cluster, PfsConfig config)
-    : cluster_(cluster), config_(config) {
+    : cluster_(cluster), config_(std::move(config)) {
   for (std::size_t i = 0; i < config_.num_mds; ++i) {
     mds_.push_back(std::make_unique<sim::FcfsServer>(engine(), config_.mds_concurrency,
                                                      str_printf("mds-%zu", i)));
   }
   for (std::size_t i = 0; i < config_.num_osts; ++i) {
     osts_.push_back(std::make_unique<Ost>(engine(), config_, str_printf("ost-%zu", i)));
+  }
+  if (config_.mds_replication == MdsReplication::raft) {
+    meta_sm_ = std::make_unique<MetaSm>(*this);
+    raft::RaftConfig rc;
+    rc.replicas = std::max<std::size_t>(1, config_.mds_replicas);
+    rc.server_concurrency = config_.mds_concurrency;
+    rc.rpc_overhead = config_.rpc_overhead;
+    rc.heartbeat = config_.raft_heartbeat;
+    rc.election_min = config_.raft_election_min;
+    rc.election_jitter = config_.raft_election_jitter;
+    rc.request_timeout = config_.raft_request_timeout;
+    rc.commit_timeout = config_.raft_commit_timeout;
+    rc.redirect_backoff = config_.raft_redirect_backoff;
+    rc.compact_threshold = config_.raft_compact_threshold;
+    rc.compact_keep = config_.raft_compact_keep;
+    for (std::size_t g = 0; g < config_.num_mds; ++g) {
+      std::vector<std::size_t> placement;
+      if (g < config_.raft_placement.size() &&
+          config_.raft_placement[g].size() == rc.replicas) {
+        placement = config_.raft_placement[g];
+        for (std::size_t& n : placement) n %= cluster_.nodes();
+      } else {
+        // Default spread: a group's replicas land on distinct nodes when
+        // the cluster is big enough, offset by group so leaders scatter.
+        for (std::size_t r = 0; r < rc.replicas; ++r) {
+          placement.push_back((g + r * config_.num_mds) % cluster_.nodes());
+        }
+      }
+      raft_groups_.push_back(std::make_unique<raft::Group>(engine(), cluster_, *meta_sm_, rc,
+                                                           g, std::move(placement)));
+    }
+  }
+}
+
+SimPfs::~SimPfs() = default;
+
+void SimPfs::schedule_server_faults(const FaultPlan& plan) {
+  if (!replicated()) return;
+  const auto clamp_group = [this](int mds) {
+    return static_cast<std::size_t>(mds) % raft_groups_.size();
+  };
+  for (const ServerOutage& so : plan.server_outages) {
+    raft::Group& g = raft_group(clamp_group(so.mds));
+    // The victim is resolved when the window opens (replica == -1 means
+    // "whoever leads then"); the shared slot carries it to the restart.
+    auto victim = std::make_shared<std::size_t>(0);
+    engine().at(so.begin, [&g, victim, want = so.replica] {
+      const int leader = g.leader_or_negative();
+      *victim = want >= 0 ? static_cast<std::size_t>(want) % g.replicas()
+                          : static_cast<std::size_t>(leader >= 0 ? leader : 0);
+      g.crash(*victim);
+    });
+    engine().at(so.end, [&g, victim] { g.restart(*victim); });
+  }
+  for (const PartitionWindow& pw : plan.partitions) {
+    raft::Group& g = raft_group(clamp_group(pw.mds));
+    auto victim = std::make_shared<std::size_t>(0);
+    engine().at(pw.begin, [&g, victim] {
+      const int leader = g.leader_or_negative();
+      *victim = static_cast<std::size_t>(leader >= 0 ? leader : 0);
+      g.set_partitioned(*victim, true);
+    });
+    engine().at(pw.end, [&g, victim] { g.set_partitioned(*victim, false); });
   }
 }
 
@@ -61,25 +218,44 @@ sim::Mutex& SimPfs::dir_mutex(const std::string& dir) {
   return *slot;
 }
 
-sim::Task<void> SimPfs::mds_op(std::string_view dir_path, Duration service) {
+sim::Task<Status> SimPfs::mds_op(IoCtx ctx, std::string_view dir_path, Duration service) {
   ++stats_.metadata_ops;
+  if (replicated()) {
+    co_return co_await raft_groups_[mds_of_path(dir_path)]->serve_read(ctx.node, ctx.rank,
+                                                                       service);
+  }
   co_await engine().sleep(config_.rpc_overhead + cluster_.storage_latency());
   co_await mds_[mds_of_path(dir_path)]->serve(service);
+  co_return Status::Ok();
 }
 
-sim::Task<void> SimPfs::dir_mutation(std::string dir_path) {
+sim::Task<void> SimPfs::dir_mutation(IoCtx ctx, std::string dir_path) {
   sim::Mutex& mu = dir_mutex(dir_path);
   co_await mu.lock();
   const std::uint64_t entries = ns_.dir_entry_count(dir_path);
   const double degrade =
       1.0 + static_cast<double>(entries) / static_cast<double>(config_.dir_degrade_entries);
   const auto service = Duration::seconds(config_.dir_insert_time.to_seconds() * degrade);
-  co_await mds_op(dir_path, service);
+  const Status st = co_await mds_op(ctx, dir_path, service);
+  (void)st;  // unreplicated mds_op cannot fail
   mu.unlock();
 }
 
+sim::Task<Result<MetaApply>> SimPfs::raft_submit(IoCtx ctx, std::string_view group_path,
+                                                 MetaCommand cmd) {
+  ++stats_.metadata_ops;
+  const std::uint64_t bytes = 48 + cmd.path.size() + cmd.path2.size();
+  raft::Group& group = *raft_groups_[mds_of_path(group_path)];
+  TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::any> result,
+                          co_await group.submit(ctx.node, ctx.rank,
+                                                std::any(std::move(cmd)), bytes));
+  if (!result || !result->has_value()) {
+    co_return error(Errc::io_error, "raft: malformed apply result");
+  }
+  co_return std::any_cast<MetaApply>(*result);
+}
+
 sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags flags) {
-  (void)ctx;
   if (!flags.read && !flags.write) {
     co_return error(Errc::invalid, "open needs read or write: " + path);
   }
@@ -90,17 +266,18 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
   ObjectId oid = kNoObject;
   auto existing = ns_.lookup(path);
   if (existing.ok() && existing->is_dir) {
-    co_await mds_op(parent, config_.mds_open_time);
+    TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
     co_return error(Errc::is_a_directory, path);
   }
   if (existing.ok()) {
     if (flags.create && flags.excl) {
-      co_await mds_op(parent, config_.mds_open_time);
+      TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
       co_return error(Errc::exists, path);
     }
     Object& cached = object(existing->oid);
-    co_await mds_op(parent, cached.dentry_hot ? config_.mds_cached_open_time
-                                              : config_.mds_open_time);
+    TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent,
+                                           cached.dentry_hot ? config_.mds_cached_open_time
+                                                             : config_.mds_open_time));
     cached.dentry_hot = true;
     oid = existing->oid;
     if (flags.trunc && flags.write) {
@@ -111,23 +288,36 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
     }
   } else {
     if (!flags.create) {
-      co_await mds_op(parent, config_.mds_open_time);
+      TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
       co_return error(Errc::not_found, path);
     }
     // Creation: serialized insert into the parent directory.
     if (!ns_.exists(parent)) {
-      co_await mds_op(parent, config_.mds_open_time);
+      TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
       co_return error(Errc::not_found, "parent: " + parent);
     }
-    co_await dir_mutation(parent);
-    co_await mds_op(parent, config_.mds_create_time);
-    auto created = ns_.create_file(path, flags.excl);
-    if (!created.ok()) co_return created.status();
-    oid = created->oid;
-    if (created->created) {
-      ++stats_.creates;
-      Object& o = object(oid);
-      o.mtime = engine().now();
+    if (replicated()) {
+      // The create is acked only after the group leader committed and
+      // applied it — the existence checks above are advisory, the apply
+      // inside the log is authoritative.
+      MetaCommand cmd;
+      cmd.kind = MetaCommand::Kind::create;
+      cmd.path = path;
+      cmd.excl = flags.excl;
+      TIO_CO_ASSIGN_OR_RETURN(MetaApply applied, co_await raft_submit(ctx, parent, std::move(cmd)));
+      TIO_CO_RETURN_IF_ERROR(applied.status);
+      oid = applied.oid;
+    } else {
+      co_await dir_mutation(ctx, parent);
+      TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_create_time));
+      auto created = ns_.create_file(path, flags.excl);
+      if (!created.ok()) co_return created.status();
+      oid = created->oid;
+      if (created->created) {
+        ++stats_.creates;
+        Object& o = object(oid);
+        o.mtime = engine().now();
+      }
     }
   }
 
@@ -137,12 +327,10 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
 }
 
 sim::Task<Status> SimPfs::close(IoCtx ctx, FileId file) {
-  (void)ctx;
   TIO_CO_ASSIGN_OR_RETURN(OpenFile * of, handle(file));
   const std::string parent = of->parent_dir;
   open_files_.erase(file);
-  co_await mds_op(parent, config_.mds_close_time);
-  co_return Status::Ok();
+  co_return co_await mds_op(ctx, parent, config_.mds_close_time);
 }
 
 sim::Task<void> SimPfs::acquire_write_locks(IoCtx ctx, Object& obj, std::uint64_t offset,
@@ -299,29 +487,52 @@ sim::Task<Result<FragmentList>> SimPfs::read(IoCtx ctx, FileId file, std::uint64
   co_return o.data.read(offset, len);
 }
 
+// Routes one mutation kind: replicated deployments go through the group's
+// log (the apply result carries the namespace's answer), unreplicated ones
+// run the serialized dir_mutation and mutate ns_ directly.
 sim::Task<Status> SimPfs::mkdir(IoCtx ctx, std::string path) {
-  (void)ctx;
   path = path_normalize(path);
   const std::string parent(path_dirname(path));
   if (!ns_.exists(parent)) {
-    co_await mds_op(parent, config_.mds_open_time);
+    TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
     co_return error(Errc::not_found, "parent: " + parent);
   }
-  co_await dir_mutation(parent);
+  if (replicated()) {
+    MetaCommand cmd;
+    cmd.kind = MetaCommand::Kind::mkdir;
+    cmd.path = path;
+    TIO_CO_ASSIGN_OR_RETURN(MetaApply applied, co_await raft_submit(ctx, parent, std::move(cmd)));
+    co_return applied.status;
+  }
+  co_await dir_mutation(ctx, parent);
   co_return ns_.mkdir(path);
 }
 
 sim::Task<Status> SimPfs::rmdir(IoCtx ctx, std::string path) {
-  (void)ctx;
   path = path_normalize(path);
-  co_await dir_mutation(std::string(path_dirname(path)));
+  const std::string parent(path_dirname(path));
+  if (replicated()) {
+    MetaCommand cmd;
+    cmd.kind = MetaCommand::Kind::rmdir;
+    cmd.path = path;
+    TIO_CO_ASSIGN_OR_RETURN(MetaApply applied, co_await raft_submit(ctx, parent, std::move(cmd)));
+    co_return applied.status;
+  }
+  co_await dir_mutation(ctx, parent);
   co_return ns_.rmdir(path);
 }
 
 sim::Task<Status> SimPfs::unlink(IoCtx ctx, std::string path) {
-  (void)ctx;
   path = path_normalize(path);
-  co_await dir_mutation(std::string(path_dirname(path)));
+  const std::string parent(path_dirname(path));
+  if (replicated()) {
+    MetaCommand cmd;
+    cmd.kind = MetaCommand::Kind::unlink;
+    cmd.path = path;
+    TIO_CO_ASSIGN_OR_RETURN(MetaApply applied, co_await raft_submit(ctx, parent, std::move(cmd)));
+    co_return applied.status;
+  }
+  co_await dir_mutation(ctx, parent);
   auto removed = ns_.unlink(path);
   if (!removed.ok()) co_return removed.status();
   objects_.erase(removed.value());
@@ -329,20 +540,33 @@ sim::Task<Status> SimPfs::unlink(IoCtx ctx, std::string path) {
 }
 
 sim::Task<Status> SimPfs::rename(IoCtx ctx, std::string from, std::string to) {
-  (void)ctx;
   from = path_normalize(from);
   to = path_normalize(to);
-  co_await dir_mutation(std::string(path_dirname(from)));
+  if (replicated()) {
+    // Cross-group renames would need a two-group transaction; the realm
+    // model (one volume = one namespace) never produces them, so reject
+    // rather than silently half-apply.
+    if (mds_of_path(from) != mds_of_path(to)) {
+      co_return error(Errc::invalid, "rename across metadata groups: " + from + " -> " + to);
+    }
+    MetaCommand cmd;
+    cmd.kind = MetaCommand::Kind::rename;
+    cmd.path = from;
+    cmd.path2 = to;
+    TIO_CO_ASSIGN_OR_RETURN(MetaApply applied,
+                            co_await raft_submit(ctx, std::string_view(from), std::move(cmd)));
+    co_return applied.status;
+  }
+  co_await dir_mutation(ctx, std::string(path_dirname(from)));
   if (path_dirname(from) != path_dirname(to)) {
-    co_await dir_mutation(std::string(path_dirname(to)));
+    co_await dir_mutation(ctx, std::string(path_dirname(to)));
   }
   co_return ns_.rename(from, to);
 }
 
 sim::Task<Result<StatInfo>> SimPfs::stat(IoCtx ctx, std::string path) {
-  (void)ctx;
   path = path_normalize(path);
-  co_await mds_op(path_dirname(path), config_.mds_stat_time);
+  TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, path_dirname(path), config_.mds_stat_time));
   auto entry = ns_.lookup(path);
   if (!entry.ok()) co_return entry.status();
   StatInfo info;
@@ -358,12 +582,12 @@ sim::Task<Result<StatInfo>> SimPfs::stat(IoCtx ctx, std::string path) {
 }
 
 sim::Task<Result<std::vector<DirEntry>>> SimPfs::readdir(IoCtx ctx, std::string path) {
-  (void)ctx;
   path = path_normalize(path);
   auto entries = ns_.readdir(path);
   const std::size_t n = entries.ok() ? entries->size() : 0;
-  co_await mds_op(path, config_.mds_open_time + config_.mds_readdir_per_entry *
-                            static_cast<std::int64_t>(n));
+  TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, path, config_.mds_open_time +
+                                                        config_.mds_readdir_per_entry *
+                                                            static_cast<std::int64_t>(n)));
   co_return entries;
 }
 

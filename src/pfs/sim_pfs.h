@@ -28,14 +28,35 @@
 #include "pfs/fs_client.h"
 #include "pfs/namespace.h"
 #include "pfs/ost.h"
+#include "raft/raft.h"
 #include "sim/server.h"
 #include "sim/sync.h"
 
 namespace tio::pfs {
 
+struct FaultPlan;
+
+// The replicated metadata command vocabulary: what a Raft group's log
+// entries carry, applied to the namespace at commit.
+struct MetaCommand {
+  enum class Kind { create, mkdir, rmdir, unlink, rename };
+  Kind kind = Kind::create;
+  std::string path;
+  std::string path2;  // rename destination
+  bool excl = false;
+};
+
+// Result of applying one MetaCommand (the client-visible outcome).
+struct MetaApply {
+  Status status;
+  ObjectId oid = kNoObject;
+  bool created = false;
+};
+
 class SimPfs : public FsClient {
  public:
   SimPfs(net::Cluster& cluster, PfsConfig config);
+  ~SimPfs() override;
 
   sim::Task<Result<FileId>> open(IoCtx ctx, std::string path, OpenFlags flags) override;
   sim::Task<Status> close(IoCtx ctx, FileId file) override;
@@ -61,6 +82,16 @@ class SimPfs : public FsClient {
   const Ost& ost(std::size_t i) const { return *osts_[i]; }
   std::size_t mds_of_path(std::string_view path) const;
   void drop_caches();
+
+  // --- metadata replication (mds_replication = raft) ---
+  bool replicated() const { return config_.mds_replication == MdsReplication::raft; }
+  std::size_t raft_group_count() const { return raft_groups_.size(); }
+  raft::Group& raft_group(std::size_t g) { return *raft_groups_[g]; }
+  // Schedules the plan's server outages / partitions onto the replica
+  // groups (crash at window start — resolving replica "leader" then —
+  // restart at window end). No-op when unreplicated; the testbed lowers
+  // such plans to path-prefix outages instead.
+  void schedule_server_faults(const FaultPlan& plan);
 
   struct Stats {
     std::uint64_t bytes_written = 0;
@@ -91,14 +122,23 @@ class SimPfs : public FsClient {
     std::string parent_dir;  // for close-time MDS selection
   };
 
+  struct MetaSm;  // raft::StateMachine over ns_ (defined in sim_pfs.cc)
+
   Object& object(ObjectId oid);
   Result<OpenFile*> handle(FileId file);
   sim::Mutex& dir_mutex(const std::string& dir);
-  // RPC + queue + service at the MDS serving `dir_path`.
-  sim::Task<void> mds_op(std::string_view dir_path, Duration service);
+  // RPC + queue + service at the MDS serving `dir_path`. Unreplicated this
+  // never fails; replicated it is a leader read and can surface
+  // Errc::busy when the group has no reachable leader.
+  sim::Task<Status> mds_op(IoCtx ctx, std::string_view dir_path, Duration service);
   // Namespace mutation under the directory's serialized insert lock, with
-  // size-dependent degradation.
-  sim::Task<void> dir_mutation(std::string dir_path);
+  // size-dependent degradation (unreplicated path only — replicated
+  // mutations serialize through the group's log instead).
+  sim::Task<void> dir_mutation(IoCtx ctx, std::string dir_path);
+  // Replicated mutation: routes `cmd` through the namespace's Raft group
+  // and returns the applied outcome.
+  sim::Task<Result<MetaApply>> raft_submit(IoCtx ctx, std::string_view group_path,
+                                           MetaCommand cmd);
   sim::Task<void> acquire_write_locks(IoCtx ctx, Object& obj, std::uint64_t offset,
                                       std::uint64_t len);
   // Physical transfer of [offset, offset+len) of `oid`: storage network +
@@ -109,6 +149,8 @@ class SimPfs : public FsClient {
   net::Cluster& cluster_;
   PfsConfig config_;
   Namespace ns_;
+  std::unique_ptr<MetaSm> meta_sm_;
+  std::vector<std::unique_ptr<raft::Group>> raft_groups_;
   std::vector<std::unique_ptr<sim::FcfsServer>> mds_;
   std::vector<std::unique_ptr<Ost>> osts_;
   std::unordered_map<std::string, std::unique_ptr<sim::Mutex>> dir_mutexes_;

@@ -44,6 +44,13 @@ struct PlfsMount {
   // Subdir-level federation: hash each subdir.k across backends.
   bool spread_subdirs = true;
 
+  // The backing metadata service replicates each namespace (consistent
+  // failover below the middleware, pfs::MdsReplication::raft). Placement
+  // then never moves: the create path probes only the subdir's home
+  // backend — a failing-over group surfaces transient EBUSY absorbed by
+  // the retry policy — and readers skip the stale-marker scan entirely.
+  bool mds_replicated = false;
+
   // Index-log write batching (entries buffered per writer before an append
   // hits the index log; PLFS's index buffering).
   std::size_t index_flush_every = 64;

@@ -272,16 +272,20 @@ sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
   // My subdir lives on its hashed home backend. If that MDS stays
   // unreachable through the whole retry schedule, walk the federation ring
   // (home+1, home+2, ...) and leave a stale.k marker in the canonical
-  // container so readers resolve the same placement.
+  // container so readers resolve the same placement. A replicated
+  // metadata service makes the ring walk unnecessary — the namespace
+  // itself fails over consistently, so only the home backend is probed
+  // and no placement can ever go stale.
   const std::size_t k = lay.subdir_of_rank(rank);
   const std::size_t home = lay.subdir_backend(k);
+  const std::size_t ring = mount_.mds_replicated ? 1 : lay.num_backends();
   std::size_t placed = home;
   Status subdir_st = Status::Ok();
   // Per-probe spans separate the cheap common case (home MDS answers) from
   // ring-walk failover probes in the Fig. 7 create-path traces.
   static const trace::SpanSite kHomeSite("plfs.create", "plfs.create.subdir_home");
   static const trace::SpanSite kFailoverSite("plfs.create", "plfs.create.subdir_failover");
-  for (std::size_t j = 0; j < lay.num_backends(); ++j) {
+  for (std::size_t j = 0; j < ring; ++j) {
     const std::size_t b = (home + j) % lay.num_backends();
     {
       trace::Span probe(engine(), j == 0 ? kHomeSite : kFailoverSite, rank);
@@ -388,9 +392,10 @@ sim::Task<Result<std::vector<Plfs::IndexLogRef>>> Plfs::list_index_logs(
   // Failover markers: stale.k in the canonical container means subdir.k was
   // (at least partly) placed off its hashed home by an MDS failover; union
   // the whole federation ring for those k. Only federated mounts pay the
-  // extra canonical readdir.
+  // extra canonical readdir; a replicated metadata service never strands a
+  // placement, so the scan is skipped entirely.
   std::vector<char> stale(lay.num_subdirs(), 0);
-  if (lay.num_backends() > 1) {
+  if (lay.num_backends() > 1 && !mount_.mds_replicated) {
     TIO_CO_ASSIGN_OR_RETURN(std::vector<pfs::DirEntry> canon,
                             co_await readdir_retried(ctx, lay.canonical_container()));
     for (const auto& e : canon) {

@@ -76,18 +76,47 @@ plfs::PlfsMount plfs_mount(std::size_t backends, std::size_t num_subdirs) {
   return m;
 }
 
+namespace {
+// Replica r of group g lands on node (g + r*groups) % nodes: distinct nodes
+// per group whenever the cluster is big enough, leaders scattered across
+// groups.
+std::vector<std::vector<std::size_t>> spread_replicas(std::size_t groups,
+                                                      std::size_t replicas,
+                                                      std::size_t nodes) {
+  std::vector<std::vector<std::size_t>> placement(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      placement[g].push_back((g + r * groups) % nodes);
+    }
+  }
+  return placement;
+}
+}  // namespace
+
 Rig::Rig(Options options)
     : engine_(options.seed),
-      cluster_(std::make_unique<net::Cluster>(engine_, options.cluster)),
-      pfs_(std::make_unique<pfs::SimPfs>(*cluster_, options.pfs)) {
+      cluster_(std::make_unique<net::Cluster>(engine_, options.cluster)) {
+  const bool replicated = options.pfs.mds_replication == pfs::MdsReplication::raft;
+  if (replicated && options.pfs.raft_placement.empty()) {
+    options.pfs.raft_placement =
+        spread_replicas(options.pfs.num_mds, options.pfs.mds_replicas, options.cluster.nodes);
+  }
+  pfs_ = std::make_unique<pfs::SimPfs>(*cluster_, options.pfs);
   const std::size_t backends =
       options.plfs_backends > 0 ? options.plfs_backends : options.pfs.num_mds;
   mount_ = plfs_mount(backends, options.num_subdirs);
   mount_.index_backend = options.index_backend;
   mount_.index_wire = options.index_wire;
   mount_.retry = options.retry;
-  if (options.fault_plan.enabled()) {
-    faulty_ = std::make_unique<pfs::FaultyFs>(*pfs_, options.fault_plan);
+  mount_.mds_replicated = replicated;
+  // One plan spec drives both replication modes: server-targeted faults
+  // run against the replica groups when they exist, and lower to
+  // path-prefix outages of the victim namespace when they don't.
+  const pfs::FaultPlan plan =
+      replicated ? options.fault_plan : options.fault_plan.lowered_for_unreplicated();
+  if (replicated) pfs_->schedule_server_faults(plan);
+  if (plan.enabled()) {
+    faulty_ = std::make_unique<pfs::FaultyFs>(*pfs_, plan);
   }
   plfs_ = std::make_unique<plfs::Plfs>(fs(), mount_);
   // Pre-create ("mount") the volume roots plus the direct-access dir.

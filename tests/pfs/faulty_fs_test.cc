@@ -106,6 +106,72 @@ TEST(FaultPlan, ToStringRoundTripsThroughParse) {
   EXPECT_EQ(again->to_string(), plan->to_string());
 }
 
+// --- server-targeted faults (replicated MDS) ---
+
+TEST(FaultPlan, ServerOutageGrammar) {
+  auto plan = FaultPlan::parse("server_outage=2:leader@100-250,server_outage=0:1@50-60");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->server_outages.size(), 2u);
+  EXPECT_EQ(plan->server_outages[0].mds, 2);
+  EXPECT_EQ(plan->server_outages[0].replica, -1);  // "leader": resolved at window open
+  EXPECT_EQ((plan->server_outages[0].begin - TimePoint()).to_ms(), 100.0);
+  EXPECT_EQ((plan->server_outages[0].end - TimePoint()).to_ms(), 250.0);
+  EXPECT_EQ(plan->server_outages[1].mds, 0);
+  EXPECT_EQ(plan->server_outages[1].replica, 1);
+  EXPECT_TRUE(plan->enabled());
+}
+
+TEST(FaultPlan, PartitionGrammar) {
+  auto plan = FaultPlan::parse("partition=3@10-20");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->partitions.size(), 1u);
+  EXPECT_EQ(plan->partitions[0].mds, 3);
+  EXPECT_EQ((plan->partitions[0].begin - TimePoint()).to_ms(), 10.0);
+  EXPECT_EQ((plan->partitions[0].end - TimePoint()).to_ms(), 20.0);
+  EXPECT_TRUE(plan->enabled());
+}
+
+TEST(FaultPlan, RejectsMalformedServerFaults) {
+  EXPECT_FALSE(FaultPlan::parse("server_outage=1@100-250").ok());        // no replica
+  EXPECT_FALSE(FaultPlan::parse("server_outage=1:boss@100-250").ok());   // bad replica
+  EXPECT_FALSE(FaultPlan::parse("server_outage=1:leader@250-100").ok()); // end < begin
+  EXPECT_FALSE(FaultPlan::parse("partition=1").ok());                    // no window
+  EXPECT_FALSE(FaultPlan::parse("partition=x@10-20").ok());              // bad group
+}
+
+TEST(FaultPlan, ServerFaultsRoundTripThroughToString) {
+  auto plan = FaultPlan::parse("server_outage=1:leader@100-250,partition=2@300-400,seed=9");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto again = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->to_string(), plan->to_string());
+  ASSERT_EQ(again->server_outages.size(), 1u);
+  EXPECT_EQ(again->server_outages[0].replica, -1);
+  ASSERT_EQ(again->partitions.size(), 1u);
+}
+
+TEST(FaultPlan, LoweredForUnreplicatedTurnsServerFaultsIntoVolumeOutages) {
+  auto plan = FaultPlan::parse("server_outage=1:leader@100-250,partition=2@300-400");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const FaultPlan lowered = plan->lowered_for_unreplicated();
+  EXPECT_TRUE(lowered.server_outages.empty());
+  EXPECT_TRUE(lowered.partitions.empty());
+  ASSERT_EQ(lowered.outages.size(), 2u);
+  EXPECT_EQ(lowered.outages[0].path_prefix, "/vol1");
+  EXPECT_EQ((lowered.outages[0].begin - TimePoint()).to_ms(), 100.0);
+  EXPECT_EQ(lowered.outages[1].path_prefix, "/vol2");
+  EXPECT_EQ((lowered.outages[1].end - TimePoint()).to_ms(), 400.0);
+  EXPECT_TRUE(lowered.enabled());
+}
+
+TEST(FaultPlan, FailoverPresetTargetsTheLeader) {
+  auto plan = FaultPlan::parse("failover");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->server_outages.size(), 1u);
+  EXPECT_EQ(plan->server_outages[0].mds, 1);
+  EXPECT_EQ(plan->server_outages[0].replica, -1);
+}
+
 // --- injection behaviour ---
 
 class FaultyFsTest : public ::testing::Test {

@@ -27,20 +27,26 @@ constexpr int kRounds = 4;
 constexpr std::uint64_t kRecord = 3000;
 constexpr std::uint64_t kTotal = static_cast<std::uint64_t>(kProcs) * kRounds * kRecord;
 
-PlfsMount chaos_mount() {
+PlfsMount chaos_mount(bool replicated = false) {
   PlfsMount m;
   for (std::size_t i = 0; i < 4; ++i) {
     m.backends.push_back("/vol" + std::to_string(i) + "/plfs");
   }
   m.num_subdirs = 8;
   m.index_flush_every = 8;
+  m.mds_replicated = replicated;
   return m;
 }
 
 struct ChaosWorld {
-  explicit ChaosWorld(const std::string& plan_spec)
-      : cluster(engine, cluster_config()), base(cluster, pfs_config()),
-        faulty(base, parse_plan(plan_spec)), plfs(faulty, chaos_mount()) {
+  explicit ChaosWorld(const std::string& plan_spec, bool replicated = false)
+      : cluster(engine, cluster_config()), base(cluster, pfs_config(replicated)),
+        faulty(base, client_plan(plan_spec, replicated)),
+        plfs(faulty, chaos_mount(replicated)) {
+    // Replicated worlds keep server-targeted faults for the raft layer;
+    // unreplicated ones lower them to whole-volume outages (what the
+    // testbed Rig does for --mds_replication=none).
+    if (replicated) base.schedule_server_faults(parse_plan(plan_spec));
     for (const auto& b : plfs.mount().backends) {
       if (!base.ns().mkdir_all(b).ok()) std::abort();
     }
@@ -50,16 +56,21 @@ struct ChaosWorld {
     if (!plan.ok()) std::abort();
     return std::move(plan.value());
   }
+  static pfs::FaultPlan client_plan(const std::string& spec, bool replicated) {
+    const pfs::FaultPlan plan = parse_plan(spec);
+    return replicated ? plan : plan.lowered_for_unreplicated();
+  }
   static net::ClusterConfig cluster_config() {
     net::ClusterConfig c;
     c.nodes = 16;
     c.cores_per_node = 4;
     return c;
   }
-  static pfs::PfsConfig pfs_config() {
+  static pfs::PfsConfig pfs_config(bool replicated = false) {
     pfs::PfsConfig c;
     c.num_mds = 4;
     c.num_osts = 8;
+    if (replicated) c.mds_replication = pfs::MdsReplication::raft;
     return c;
   }
 
@@ -246,6 +257,219 @@ TEST(Chaos, MdsOutageFailsOverToFederationRing) {
     const std::vector<std::byte> got = read_n1(w, logical, strategy);
     EXPECT_EQ(got.size(), kTotal) << static_cast<int>(strategy);
   }
+}
+
+// --- Raft-replicated metadata under server-targeted chaos ---
+
+// Several barrier-separated storm waves inside ONE SPMD program, so rank
+// tasks stay live while virtual time crosses the fault window. (Separate
+// run_spmd calls per wave would not work: each engine.run() drains the
+// queue to empty, fast-forwarding through the scheduled fault events while
+// every raft group is parked between waves.) Group 1's metadata bursts
+// span ~67-123 virtual ms under seed 11.
+constexpr int kWaves = 6;
+
+void create_storm(ChaosWorld& w) {
+  mpi::run_spmd(w.cluster, kProcs, [&](mpi::Comm comm) -> sim::Task<void> {
+    for (int i = 0; i < kWaves; ++i) {
+      const std::string logical = "/storm" + std::to_string(i);
+      auto file = co_await MpiFile::open_write(w.plfs, comm, logical);
+      EXPECT_TRUE(file.ok()) << file.status();
+      if (!file.ok()) co_return;
+      for (int r = 0; r < kRounds; ++r) {
+        const std::uint64_t off =
+            (static_cast<std::uint64_t>(r) * comm.size() + comm.rank()) * kRecord;
+        EXPECT_TRUE((co_await (*file)->write(off, DataView::pattern(7, off, kRecord))).ok());
+      }
+      EXPECT_TRUE((co_await (*file)->close_write(/*flatten=*/true)).ok());
+      co_await comm.barrier();
+    }
+  });
+}
+
+// The acceptance scenario for the replicated MDS: crash the leader of a
+// metadata group at the peak of a create storm. Every create acked to a
+// writer must survive the failover (acks come only after the command is
+// applied), readers see every byte afterwards, and the whole schedule is a
+// pure function of (plan seed, engine seed).
+TEST(Chaos, RaftLeaderCrashAtCreateStormPeak) {
+  const char* kCounters[] = {
+      "raft.submits",        "raft.elections_won", "raft.redirects",
+      "raft.client_timeouts", "plfs.fault.ops",
+  };
+  struct Run {
+    std::vector<std::uint64_t> deltas;
+    std::int64_t final_ns = 0;
+    std::vector<std::byte> bytes;
+  };
+  auto run_once = [&kCounters] {
+    Run out;
+    std::vector<std::uint64_t> before;
+    for (const char* name : kCounters) before.push_back(counter(name).value());
+    const std::uint64_t failovers_before = histogram("raft.failover").count();
+    const std::uint64_t elections_before = counter("raft.elections_won").value();
+
+    // Group 1's create bursts run from ~67 to ~123 virtual ms (its leader
+    // is established by ~66 ms). The 95-250 ms window crashes that leader
+    // mid-storm — creates are in flight when the leader dies, and the
+    // window outlasts a full election timeout, so the survivors elect and
+    // finish the storm before the crashed replica returns.
+    ChaosWorld w("server_outage=1:leader@95-250,seed=11", /*replicated=*/true);
+    create_storm(w);
+
+    // The crash interrupted live traffic: clients saw a degraded group and
+    // the survivors elected a replacement beyond the four groups'
+    // bootstrap elections.
+    EXPECT_GT(histogram("raft.failover").count(), failovers_before);
+    EXPECT_GT(counter("raft.elections_won").value(), elections_before + 4);
+
+    // Past the outage window the restarted replica has rejoined. Every
+    // acked create is readable — zero lost creates, under every strategy.
+    w.sleep_until_ms(2000);
+    for (int i = 0; i < kWaves; ++i) {
+      const std::string logical = "/storm" + std::to_string(i);
+      for (const ReadStrategy strategy :
+           {ReadStrategy::original, ReadStrategy::parallel_read}) {
+        EXPECT_EQ(read_n1(w, logical, strategy).size(), kTotal)
+            << logical << " strategy " << static_cast<int>(strategy);
+      }
+    }
+    // Replicated mode keeps creates on the home backend: a consistent
+    // failover must not leave federation stale markers behind.
+    bool saw_marker = false;
+    for (int i = 0; i < kWaves; ++i) {
+      test::run_task(w.engine,
+                     count_stale_markers(
+                         w.base, w.plfs.layout("/storm" + std::to_string(i)).canonical_container(),
+                         saw_marker));
+    }
+    EXPECT_FALSE(saw_marker);
+
+    out.bytes = read_n1(w, "/storm0", ReadStrategy::index_flatten);
+    out.final_ns = w.engine.now().to_ns();
+    for (std::size_t i = 0; i < std::size(kCounters); ++i) {
+      out.deltas.push_back(counter(kCounters[i]).value() - before[i]);
+    }
+    return out;
+  };
+  const Run a = run_once();
+  const Run b = run_once();
+  EXPECT_EQ(a.deltas, b.deltas);
+  EXPECT_EQ(a.final_ns, b.final_ns);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.bytes.size(), kTotal);
+}
+
+// Isolating (rather than crashing) the leader: the group elects around the
+// unreachable leader, which steps down on heal, and the storm completes.
+TEST(Chaos, RaftPartitionedLeaderHealsAndStormCompletes) {
+  const std::uint64_t elections_before = counter("raft.elections_won").value();
+  const std::uint64_t dropped_before = counter("raft.msgs_dropped").value();
+  // Same seed and window as the crash test: group 1's create bursts are in
+  // flight when its leader gets partitioned, so the survivors must elect.
+  ChaosWorld w("partition=1@95-250,seed=11", /*replicated=*/true);
+  create_storm(w);
+  EXPECT_GT(counter("raft.elections_won").value(), elections_before + 4);
+  EXPECT_GT(counter("raft.msgs_dropped").value(), dropped_before);
+  w.sleep_until_ms(2000);
+  for (int i = 0; i < kWaves; ++i) {
+    EXPECT_EQ(read_n1(w, "/storm" + std::to_string(i), ReadStrategy::original).size(), kTotal);
+  }
+}
+
+// Retries transient FaultyFs injections the way the client library would;
+// permanent errors surface immediately.
+template <typename Op>
+sim::Task<Status> eventually(sim::Engine& engine, Op op) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    last = co_await op();
+    if (last.ok() || !last.is_transient()) co_return last;
+    co_await engine.sleep(Duration::ms(2));
+  }
+  co_return last;
+}
+
+// mkdir + creates + same-directory rename + unlink + rmdir, all through
+// the fault-injecting layer.
+sim::Task<void> meta_mutation_storm(ChaosWorld& w) {
+  const pfs::IoCtx ctx{2, 0};
+  auto& fs = w.faulty;
+  Status st = co_await eventually(w.engine, [&] { return fs.mkdir(ctx, "/vol0/meta"); });
+  EXPECT_TRUE(st.ok()) << st;
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = "/vol0/meta/f" + std::to_string(i);
+    // Non-exclusive create: the retry loop may re-run the open after a
+    // fault injected on the close, so the op must be idempotent.
+    st = co_await eventually(w.engine, [&]() -> sim::Task<Status> {
+      auto fd = co_await fs.open(ctx, path, pfs::OpenFlags::wr_create());
+      if (!fd.ok()) co_return fd.status();
+      co_return co_await fs.close(ctx, *fd);
+    });
+    EXPECT_TRUE(st.ok()) << path << ": " << st;
+  }
+  // Same-directory rename: one metadata group, one command either mode.
+  st = co_await eventually(
+      w.engine, [&] { return fs.rename(ctx, "/vol0/meta/f0", "/vol0/meta/g0"); });
+  EXPECT_TRUE(st.ok()) << st;
+  st = co_await eventually(w.engine, [&] { return fs.unlink(ctx, "/vol0/meta/f1"); });
+  EXPECT_TRUE(st.ok()) << st;
+  st = co_await eventually(w.engine, [&] { return fs.mkdir(ctx, "/vol0/meta/tomb"); });
+  EXPECT_TRUE(st.ok()) << st;
+  st = co_await eventually(w.engine, [&] { return fs.rmdir(ctx, "/vol0/meta/tomb"); });
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+sim::Task<void> expect_state(ChaosWorld& w, std::string path, bool want_exists) {
+  const pfs::IoCtx ctx{2, 0};
+  const Status st = co_await eventually(w.engine, [&]() -> sim::Task<Status> {
+    co_return (co_await w.faulty.stat(ctx, path)).status();
+  });
+  if (want_exists) {
+    EXPECT_TRUE(st.ok()) << path << ": " << st;
+  } else {
+    EXPECT_FALSE(st.ok()) << path << " should be gone";
+    EXPECT_FALSE(st.is_transient()) << path << ": " << st;
+  }
+}
+
+// unlink/rmdir/rename land the same final namespace whether the metadata
+// service is a single server or a raft group, transient faults and all.
+TEST(Chaos, MetaMutationsSurviveTransientFaultsInBothModes) {
+  for (const bool replicated : {false, true}) {
+    SCOPED_TRACE(replicated ? "raft" : "none");
+    ChaosWorld w("io=0.02,busy=0.1,seed=909", replicated);
+    const std::uint64_t injected_before =
+        counter("plfs.fault.busy").value() + counter("plfs.fault.io_error").value();
+    test::run_task(w.engine, meta_mutation_storm(w));
+    test::run_task(w.engine, expect_state(w, "/vol0/meta/g0", true));
+    test::run_task(w.engine, expect_state(w, "/vol0/meta/f0", false));
+    test::run_task(w.engine, expect_state(w, "/vol0/meta/f1", false));
+    test::run_task(w.engine, expect_state(w, "/vol0/meta/f2", true));
+    test::run_task(w.engine, expect_state(w, "/vol0/meta/tomb", false));
+    // The seeded plan actually hit the op stream.
+    EXPECT_GT(counter("plfs.fault.busy").value() + counter("plfs.fault.io_error").value(),
+              injected_before);
+  }
+}
+
+// Renames that stay in one metadata group are a single replicated command;
+// across groups there is no cross-log transaction, so the service must
+// reject rather than half-apply.
+TEST(Chaos, RaftRejectsCrossGroupRename) {
+  ChaosWorld w("none", /*replicated=*/true);
+  test::run_task(w.engine, [](ChaosWorld& w) -> sim::Task<void> {
+    const pfs::IoCtx ctx{1, 0};
+    EXPECT_TRUE((co_await w.faulty.mkdir(ctx, "/vol0/dir")).ok());
+    auto fd = co_await w.faulty.open(ctx, "/vol0/dir/file", pfs::OpenFlags::wr_create_excl());
+    EXPECT_TRUE(fd.ok()) << fd.status();
+    if (!fd.ok()) co_return;
+    EXPECT_TRUE((co_await w.faulty.close(ctx, *fd)).ok());
+    EXPECT_TRUE((co_await w.faulty.rename(ctx, "/vol0/dir/file", "/vol0/dir/moved")).ok());
+    const Status st = co_await w.faulty.rename(ctx, "/vol0/dir/moved", "/vol1/elsewhere");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), Errc::invalid);
+  }(w));
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// Raft replica groups: election, replication, failover, catch-up,
+// snapshotting, and bit-reproducibility on the deterministic engine.
+#include "raft/raft.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <any>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/cluster.h"
+#include "sim/engine.h"
+#include "testutil.h"
+
+namespace tio::raft {
+namespace {
+
+net::ClusterConfig small_cluster() {
+  net::ClusterConfig c;
+  c.nodes = 8;
+  c.cores_per_node = 4;
+  c.nic_bandwidth = 2.0e9;
+  c.fabric_latency = Duration::us(2);
+  c.storage_net_bandwidth = 1.25e9;
+  c.storage_nic_bandwidth = 1.15e9;
+  c.storage_net_latency = Duration::us(60);
+  c.page_cache_per_node = 16_MiB;
+  c.page_cache_block = 64_KiB;
+  return c;
+}
+
+// Doubles each submitted int; remembers the apply order. The raft layer is
+// at-least-once (a timed-out client attempt may resubmit), so tests assert
+// "applied at least once, acked results exact", not exact apply counts.
+struct TestSm : StateMachine {
+  std::vector<int> applied;
+  std::any apply(Index, const std::any& cmd) override {
+    if (!cmd.has_value()) return {};  // leader no-op barrier
+    const int v = std::any_cast<int>(cmd);
+    applied.push_back(v);
+    return std::any(v * 2);
+  }
+  Duration apply_service(const std::any&) const override { return Duration::us(50); }
+  std::uint64_t snapshot_bytes() const override { return 1024; }
+};
+
+RaftConfig fast_config() {
+  RaftConfig c;
+  c.replicas = 3;
+  c.heartbeat = Duration::ms(5);
+  c.election_min = Duration::ms(20);
+  c.election_jitter = Duration::ms(20);
+  c.request_timeout = Duration::ms(30);
+  c.redirect_backoff = Duration::ms(5);
+  return c;
+}
+
+struct World {
+  explicit World(std::uint64_t seed = 42, RaftConfig config = fast_config())
+      : engine(seed), cluster(engine, small_cluster()),
+        group(engine, cluster, sm, config, /*group_id=*/0, {0, 1, 2}) {}
+  sim::Engine engine;
+  net::Cluster cluster;
+  TestSm sm;
+  Group group;
+
+  // Submits `v` from node 7 and expects the doubled ack.
+  sim::Task<void> expect_submit(int v) {
+    auto r = co_await group.submit(/*client_node=*/7, /*rank=*/0, std::any(v), 64);
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    if (!r.ok()) co_return;
+    EXPECT_TRUE(*r != nullptr && (*r)->has_value());
+    if (*r == nullptr || !(*r)->has_value()) co_return;
+    EXPECT_EQ(std::any_cast<int>(**r), v * 2);
+  }
+};
+
+TEST(RaftTest, BootstrapElectsExactlyOneLeader) {
+  World w;
+  w.group.keep_alive(true);
+  w.engine.run_until(Duration::ms(500).to_ns());
+  int leaders = 0;
+  for (std::size_t r = 0; r < w.group.replicas(); ++r) {
+    if (static_cast<int>(r) == w.group.leader_or_negative()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  w.group.keep_alive(false);
+  w.engine.run();  // parks: the queue must drain
+}
+
+TEST(RaftTest, SubmitCommitsAndAcksAfterApply) {
+  World w;
+  test::run_task(w.engine, w.expect_submit(21));
+  ASSERT_EQ(w.sm.applied.size(), 1u);
+  EXPECT_EQ(w.sm.applied[0], 21);
+  // Index 1 is the leader's no-op barrier, index 2 the command.
+  EXPECT_EQ(w.group.group_applied(), 2u);
+}
+
+TEST(RaftTest, ReplicatesManyCommandsInOrder) {
+  World w;
+  test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+    for (int v = 0; v < 32; ++v) co_await w.expect_submit(v);
+  }(w));
+  ASSERT_EQ(w.sm.applied.size(), 32u);
+  for (int v = 0; v < 32; ++v) EXPECT_EQ(w.sm.applied[v], v);
+  // All replicas converge on the same log length by the time the group
+  // parks (the last append round-trips before the ack).
+  const Index leader_last =
+      w.group.last_index_of(static_cast<std::size_t>(w.group.leader_or_negative()));
+  EXPECT_EQ(leader_last, 33u);  // barrier + 32 commands
+}
+
+TEST(RaftTest, LeaderCrashFailsOverAndLosesNoAckedCommand) {
+  World w;
+  const std::uint64_t elections_before = counter("raft.elections_won").value();
+  test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+    co_await w.expect_submit(1);
+    const int old_leader = w.group.leader_or_negative();
+    EXPECT_GE(old_leader, 0);
+    if (old_leader < 0) co_return;
+    w.group.crash(static_cast<std::size_t>(old_leader));
+    // The two survivors hold quorum: the next submits elect a new leader
+    // and commit through it.
+    for (int v = 2; v <= 5; ++v) co_await w.expect_submit(v);
+    EXPECT_NE(w.group.leader_or_negative(), old_leader);
+  }(w));
+  EXPECT_GT(counter("raft.elections_won").value(), elections_before + 1);
+  // Every acked command reached the state machine.
+  for (int v = 1; v <= 5; ++v) {
+    EXPECT_NE(std::find(w.sm.applied.begin(), w.sm.applied.end(), v), w.sm.applied.end())
+        << "acked command " << v << " lost";
+  }
+}
+
+TEST(RaftTest, CrashedReplicaRestartsAndCatchesUp) {
+  World w;
+  test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+    co_await w.expect_submit(1);
+    const int leader = w.group.leader_or_negative();
+    const std::size_t follower = leader == 0 ? 1 : 0;
+    w.group.crash(follower);
+    for (int v = 2; v <= 9; ++v) co_await w.expect_submit(v);
+    w.group.restart(follower);
+  }(w));
+  // Heartbeat catch-up needs the group alive past the last client op.
+  w.group.keep_alive(true);
+  w.engine.run_until(w.engine.now().to_ns() + Duration::ms(500).to_ns());
+  const auto leader = static_cast<std::size_t>(w.group.leader_or_negative());
+  const std::size_t follower = leader == 0 ? 1 : 0;
+  EXPECT_EQ(w.group.last_index_of(follower), w.group.last_index_of(leader));
+  EXPECT_EQ(w.group.commit_of(follower), w.group.commit_of(leader));
+  w.group.keep_alive(false);
+  w.engine.run();
+}
+
+TEST(RaftTest, LaggingFollowerGetsSnapshotAfterCompaction) {
+  RaftConfig config = fast_config();
+  config.compact_threshold = 8;
+  config.compact_keep = 2;
+  World w(42, config);
+  const std::uint64_t installs_before = counter("raft.snapshots_installed").value();
+  test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+    co_await w.expect_submit(1);
+    const int leader = w.group.leader_or_negative();
+    const std::size_t follower = leader == 0 ? 1 : 0;
+    w.group.crash(follower);
+    // Enough traffic that the leader compacts past the crash point.
+    for (int v = 2; v <= 40; ++v) co_await w.expect_submit(v);
+    w.group.restart(follower);
+  }(w));
+  w.group.keep_alive(true);
+  w.engine.run_until(w.engine.now().to_ns() + Duration::sec(1).to_ns());
+  EXPECT_GT(counter("raft.snapshots_installed").value(), installs_before);
+  const auto leader = static_cast<std::size_t>(w.group.leader_or_negative());
+  const std::size_t follower = leader == 0 ? 1 : 0;
+  EXPECT_EQ(w.group.commit_of(follower), w.group.commit_of(leader));
+  w.group.keep_alive(false);
+  w.engine.run();
+}
+
+TEST(RaftTest, PartitionedLeaderHealsWithoutSplitBrain) {
+  World w;
+  test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+    co_await w.expect_submit(1);
+    const int old_leader = w.group.leader_or_negative();
+    EXPECT_GE(old_leader, 0);
+    if (old_leader < 0) co_return;
+    w.group.set_partitioned(static_cast<std::size_t>(old_leader), true);
+    for (int v = 2; v <= 5; ++v) co_await w.expect_submit(v);
+    const int new_leader = w.group.leader_or_negative();
+    EXPECT_NE(new_leader, old_leader);
+    w.group.set_partitioned(static_cast<std::size_t>(old_leader), false);
+    // The healed replica rejoins; the new leader's term dominates, so a
+    // submit still lands on one coherent log.
+    co_await w.expect_submit(6);
+  }(w));
+  for (int v = 1; v <= 6; ++v) {
+    EXPECT_NE(std::find(w.sm.applied.begin(), w.sm.applied.end(), v), w.sm.applied.end());
+  }
+}
+
+TEST(RaftTest, SingleReplicaGroupDegeneratesToLocalCommit) {
+  RaftConfig config = fast_config();
+  config.replicas = 1;
+  sim::Engine engine(7);
+  net::Cluster cluster(engine, small_cluster());
+  TestSm sm;
+  Group group(engine, cluster, sm, config, 0, {3});
+  test::run_task(engine, [](Group& g, TestSm& sm) -> sim::Task<void> {
+    auto r = co_await g.submit(0, 0, std::any(5), 64);
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    EXPECT_EQ(std::any_cast<int>(**r), 10);
+    EXPECT_EQ(sm.applied.size(), 1u);
+  }(group, sm));
+}
+
+TEST(RaftTest, NoQuorumSurfacesBusyWithinAttemptBound) {
+  World w;
+  test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+    co_await w.expect_submit(1);
+    w.group.crash(1);
+    w.group.crash(2);
+    auto r = co_await w.group.submit(7, 0, std::any(2), 64);
+    EXPECT_FALSE(r.ok());
+    if (r.ok()) co_return;
+    EXPECT_EQ(r.status().code(), Errc::busy);
+    EXPECT_TRUE(r.status().is_transient());
+  }(w));
+}
+
+// The acceptance property underneath the chaos suite: a (seed, scenario)
+// pair is a pure function — virtual completion time and apply order are
+// bit-identical across runs.
+TEST(RaftTest, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    World w(seed);
+    test::run_task(w.engine, [](World& w) -> sim::Task<void> {
+      co_await w.expect_submit(1);
+      w.group.crash(static_cast<std::size_t>(w.group.leader_or_negative()));
+      for (int v = 2; v <= 8; ++v) co_await w.expect_submit(v);
+    }(w));
+    return std::make_pair(w.engine.now().to_ns(), w.sm.applied);
+  };
+  const auto a = run_once(1234);
+  const auto b = run_once(1234);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_once(99);
+  EXPECT_EQ(c.second.size(), a.second.size());  // same workload either way
+}
+
+}  // namespace
+}  // namespace tio::raft
