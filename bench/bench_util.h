@@ -121,6 +121,73 @@ inline pfs::MdsReplication mds_replication_or_die(const std::string& name) {
   std::exit(1);
 }
 
+// Shared metadata-path tuning flags: client-side mutation batching, the
+// leased client metadata cache, and the Raft client timeouts (defaults match
+// the historical hard-coded values, so omitting every flag is byte-identical
+// to the pre-flag binaries).
+struct MdsTuningFlags {
+  std::int64_t* mds_batch;
+  std::int64_t* mds_batch_linger_us;
+  std::int64_t* meta_lease_ms;
+  std::int64_t* raft_request_timeout_ms;
+  std::int64_t* raft_commit_timeout_ms;
+};
+
+inline MdsTuningFlags add_mds_tuning_flags(FlagSet& flags) {
+  MdsTuningFlags t;
+  t.mds_batch = flags.add_i64(
+      "mds_batch", 0, "coalesce up to N metadata mutations per MDS round trip (0 = off)");
+  t.mds_batch_linger_us =
+      flags.add_i64("mds_batch_linger_us", 50, "max virtual us a forming batch waits to fill");
+  t.meta_lease_ms = flags.add_i64(
+      "meta_lease_ms", 0, "client metadata cache lease in virtual ms (0 = cache off)");
+  t.raft_request_timeout_ms =
+      flags.add_i64("raft_request_timeout_ms", 40, "per-attempt Raft client request timeout, ms");
+  t.raft_commit_timeout_ms = flags.add_i64(
+      "raft_commit_timeout_ms", 400, "Raft commit+apply wait for an accepted entry, ms");
+  return t;
+}
+
+// Validates the tuning flags and applies them onto a PfsConfig.
+inline void apply_mds_tuning(const MdsTuningFlags& t, pfs::PfsConfig& pfs) {
+  const std::pair<const char*, std::int64_t> checks[] = {
+      {"mds_batch", *t.mds_batch},
+      {"mds_batch_linger_us", *t.mds_batch_linger_us},
+      {"meta_lease_ms", *t.meta_lease_ms},
+      {"raft_request_timeout_ms", *t.raft_request_timeout_ms},
+      {"raft_commit_timeout_ms", *t.raft_commit_timeout_ms}};
+  for (const auto& [name, v] : checks) {
+    if (v < 0) {
+      std::fprintf(stderr, "--%s must be >= 0 (got %lld)\n", name, static_cast<long long>(v));
+      std::exit(1);
+    }
+  }
+  if (*t.raft_request_timeout_ms == 0 || *t.raft_commit_timeout_ms == 0) {
+    std::fprintf(stderr, "raft timeouts must be > 0\n");
+    std::exit(1);
+  }
+  pfs.mds_batch = static_cast<std::size_t>(*t.mds_batch);
+  pfs.mds_batch_linger = Duration::us(*t.mds_batch_linger_us);
+  pfs.meta_lease = Duration::ms(*t.meta_lease_ms);
+  pfs.raft_request_timeout = Duration::ms(*t.raft_request_timeout_ms);
+  pfs.raft_commit_timeout = Duration::ms(*t.raft_commit_timeout_ms);
+}
+
+// Batched-metadata and client-cache instrumentation. stderr, like the other
+// counter dumps, so stdout stays byte-comparable across runs.
+inline void print_meta_counters() {
+  auto counters = counter_snapshot("pfs.batch");
+  const auto cache = counter_snapshot("pfs.meta_cache");
+  const auto meta = counter_snapshot("pfs.meta");
+  counters.insert(counters.end(), cache.begin(), cache.end());
+  counters.insert(counters.end(), meta.begin(), meta.end());
+  if (counters.empty()) return;
+  std::fprintf(stderr, "\n-- metadata batch/cache counters --\n");
+  for (const auto& [name, value] : counters) {
+    std::fprintf(stderr, "%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+}
+
 // Fault/retry/degradation instrumentation accumulated during the run.
 // stderr on purpose: stdout must stay byte-identical across runs whether or
 // not a plan is active (the determinism check diffs it).
@@ -171,7 +238,7 @@ inline void json_counters(std::FILE* f) {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   for (const char* prefix :
        {"plfs.index", "plfs.index_cache", "plfs.fault", "plfs.retry", "plfs.degrade",
-        "iolib.cb", "raft"}) {
+        "iolib.cb", "raft", "pfs.batch", "pfs.meta_cache", "pfs.meta"}) {
     const auto group = counter_snapshot(prefix);
     counters.insert(counters.end(), group.begin(), group.end());
   }

@@ -18,8 +18,10 @@ int main(int argc, char** argv) {
   std::setlocale(LC_ALL, "");  // stdout tables honor the user's locale; JSON must not
   FlagSet flags("fig7_metadata_nn: N-N open/close times vs file count and MDS count");
   auto* procs = flags.add_i64("procs", 128, "processes creating files");
+  auto* min_files = flags.add_i64("min-files", 1024, "smallest total file count in the sweep");
   auto* max_files = flags.add_i64("max-files", 8192, "largest total file count");
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  const bench::MdsTuningFlags tuning = bench::add_mds_tuning_flags(flags);
   auto* replication_spec = bench::add_mds_replication_flag(flags);
   auto* shards_flag = bench::add_shards_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
@@ -32,8 +34,19 @@ int main(int argc, char** argv) {
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
   const pfs::MdsReplication replication = bench::mds_replication_or_die(*replication_spec);
   const std::size_t shards = bench::shards_or_die(*shards_flag);
+  // TIO_FIG7_MAX_FILES shrinks the storm for slow CI boxes (mirrors
+  // TIO_MATRIX_RANKS for the determinism matrix); a million-file storm is a
+  // bench-box run, not a smoke-test one.
+  std::int64_t top_files = *max_files;
+  if (const char* env = std::getenv("TIO_FIG7_MAX_FILES")) {
+    const long long v = std::atoll(env);
+    if (v > 0 && v < top_files) top_files = v;
+  }
+  std::int64_t bottom_files = std::min<std::int64_t>(*min_files, top_files);
+  if (bottom_files < 1) bottom_files = 1;
   const std::vector<std::size_t> mds_counts = {1, 3, 6, 9};
-  const auto file_counts = bench::sweep(1024, static_cast<int>(*max_files));
+  const auto file_counts =
+      bench::sweep(static_cast<int>(bottom_files), static_cast<int>(top_files));
 
   struct Cell {
     double open, close;
@@ -46,13 +59,15 @@ int main(int argc, char** argv) {
   // execution order and spread across shard threads.
   sim::ShardPool pool(shards);
   const int nprocs = static_cast<int>(*procs);
-  const auto storm = [&plan, replication, nprocs](int files, std::size_t mds, bool use_plfs) {
+  const auto storm = [&plan, &tuning, replication, nprocs](int files, std::size_t mds,
+                                                           bool use_plfs) {
     MetaSpec spec;
     spec.files_per_proc = std::max(1, files / nprocs);
     spec.use_plfs = use_plfs;
     testbed::Rig::Options o = bench::lanl_rig(mds);
     o.fault_plan = plan;
     o.pfs.mds_replication = replication;
+    bench::apply_mds_tuning(tuning, o.pfs);
     testbed::Rig rig(o);
     const MetaResult r = run_metadata_storm(rig, nprocs, spec);
     return Cell{r.open_s, r.close_s};
@@ -100,12 +115,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"bench\": \"fig7_metadata_nn\",\n");
     std::fprintf(f,
-                 "  \"config\": {\"procs\": %lld, \"max_files\": %lld, \"fault_plan\": \"%s\", "
-                 "\"mds_replication\": \"%.*s\", \"shards\": %zu},\n",
-                 static_cast<long long>(*procs), static_cast<long long>(*max_files),
-                 plan_spec->c_str(),
+                 "  \"config\": {\"procs\": %lld, \"min_files\": %lld, \"max_files\": %lld, "
+                 "\"fault_plan\": \"%s\", \"mds_replication\": \"%.*s\", \"shards\": %zu, "
+                 "\"mds_batch\": %lld, \"mds_batch_linger_us\": %lld, \"meta_lease_ms\": %lld},\n",
+                 static_cast<long long>(*procs), static_cast<long long>(bottom_files),
+                 static_cast<long long>(top_files), plan_spec->c_str(),
                  static_cast<int>(pfs::mds_replication_name(replication).size()),
-                 pfs::mds_replication_name(replication).data(), shards);
+                 pfs::mds_replication_name(replication).data(), shards,
+                 static_cast<long long>(*tuning.mds_batch),
+                 static_cast<long long>(*tuning.mds_batch_linger_us),
+                 static_cast<long long>(*tuning.meta_lease_ms));
     std::fprintf(f, "  \"rows\": [");
     for (std::size_t f_i = 0; f_i < file_counts.size(); ++f_i) {
       std::fprintf(f, "%s\n    {\"files\": %d,\n     \"open_s\": {", f_i ? "," : "",
@@ -130,6 +149,7 @@ int main(int argc, char** argv) {
   }
 
   bench::finish_trace(*trace_path);
+  bench::print_meta_counters();
   bench::print_fault_counters();
   bench::print_histograms();
   bench::print_sim_counters();

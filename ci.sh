@@ -34,6 +34,9 @@ ctest --preset asan -j "$jobs" -R \
 echo "==> chaos + raft suites under ASan/UBSan (fault injection, retry, failover)"
 ctest --preset asan -j "$jobs" -R '^(Chaos|FaultPlan|FaultyFsTest|RetryPolicy|RetryBudget|Timeout|Status|RaftTest)\.'
 
+echo "==> metadata batch + lease-cache suites under ASan/UBSan"
+ctest --preset asan -j "$jobs" -R '^(MetaBatch|MetaCache|MetaCacheSimPfs)\.'
+
 echo "==> collective-buffering suites under ASan/UBSan (pipeline, sieving, node plan)"
 ctest --preset asan -j "$jobs" -R '^(CbDifferential|CbSieve|CbNodePlan|CbWrite|CbRead|CbAggregators)\.'
 
@@ -53,6 +56,11 @@ echo "==> sim + mpisim suites and the cross-shard determinism matrix under TSan"
 TIO_MATRIX_RANKS=512 TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R \
   '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm|RaftTest)\.' \
   -E 'DeepAwaitChains'
+
+# The batcher and lease cache run inside every shard's engine when fig7 is
+# sharded; the suites must stay clean under TSan alongside the engine.
+echo "==> metadata batch + lease-cache suites under TSan"
+TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R '^(MetaBatch|MetaCache|MetaCacheSimPfs)\.'
 
 # The collective layer's sharded-counter writes (message census, sieve
 # stats) run on every shard thread; the differential suite under TSan pins
@@ -156,6 +164,43 @@ LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 
   --fault_plan=failover --mds_replication=raft >"$out/fig7_raft_run2.txt" 2>/dev/null
 cmp "$out/fig7_raft_run1.txt" "$out/fig7_raft_run2.txt"
 
+echo "==> fig7 --mds_batch=0 stdout must match the default byte-for-byte"
+# Batching and the lease cache must be invisible when off: explicit zeros
+# take the legacy per-op mutation path and must agree with the default
+# binary exactly.
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 32 --max-files 512 \
+  --mds_batch=0 --meta_lease_ms=0 >"$out/fig7_run_b0.txt" 2>/dev/null
+cmp "$out/fig7_run_default.txt" "$out/fig7_run_b0.txt"
+
+echo "==> fig7 batch=64 must amortize >=10x MDS mutation round trips per create"
+# The perf pin for the batcher: the same storm, batched at 64 with a 1 ms
+# linger, needs at most a tenth of the unbatched mutation round trips
+# (counters are totals over identical sweeps, so the ratio is per-create).
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 64 --min-files 2048 \
+  --max-files 2048 --json="$out/fig7_b0_pin.json" >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn --procs 64 --min-files 2048 \
+  --max-files 2048 --mds_batch=64 --mds_batch_linger_us=1000 --meta_lease_ms=50 \
+  --json="$out/fig7_b64_pin.json" >/dev/null 2>&1
+python3 - "$out/fig7_b0_pin.json" "$out/fig7_b64_pin.json" <<'PY'
+import json, sys
+unbatched = json.load(open(sys.argv[1]))["counters"]["pfs.meta.mutation_round_trips"]
+batched = json.load(open(sys.argv[2]))["counters"]["pfs.meta.mutation_round_trips"]
+ratio = unbatched / max(1, batched)
+print(f"    mutation round trips: unbatched={unbatched} batched={batched} ({ratio:.1f}x)")
+assert ratio >= 10.0, f"batch=64 amortization regressed: {ratio:.2f}x < 10x"
+PY
+
+echo "==> shrunk million-file fig7 create storm must complete in both MDS modes"
+# The full 10^6-file storm is a bench-box run; TIO_FIG7_MAX_FILES caps the
+# sweep so CI proves the same code path (single-row million-file request,
+# batching + leases on) at smoke scale.
+TIO_FIG7_MAX_FILES=4096 LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn \
+  --procs 64 --min-files 1000000 --max-files 1000000 \
+  --mds_batch=64 --mds_batch_linger_us=1000 --meta_lease_ms=50 >/dev/null 2>&1
+TIO_FIG7_MAX_FILES=4096 LC_ALL="$json_locale" ./build/bench/fig7_metadata_nn \
+  --procs 64 --min-files 1000000 --max-files 1000000 --mds_replication=raft \
+  --mds_batch=64 --mds_batch_linger_us=1000 --meta_lease_ms=50 >/dev/null 2>&1
+
 echo "==> fig4 --shards=4 stdout must match --shards=1 byte-for-byte"
 # Sharding spreads rows across threads but every simulated result is a pure
 # function of the row, so the tables cannot change. The serial trace stays
@@ -167,5 +212,8 @@ TIO_SHARDS_OVERSUBSCRIBE=1 LC_ALL="$json_locale" ./build/bench/fig4_read_scaling
 cmp "$out/fig4_run1.txt" "$out/fig4_run_s4.txt"
 python3 tools/check_trace.py "$out/fig4_trace.json" --expect-shards=1
 python3 tools/check_trace.py "$out/fig4_trace_s4.json" --expect-shards=4
+
+echo "==> checked-in bench result files must parse and summarize"
+python3 tools/bench_report.py
 
 echo "==> ci.sh: all green"

@@ -81,6 +81,25 @@ struct PfsConfig {
   // --- Client-visible fixed overhead per rpc ---
   Duration rpc_overhead = Duration::us(15);
 
+  // --- Batched metadata mutations (client-library aggregation) ---
+  // Clients coalesce create/mkdir/unlink mutations bound for the same
+  // metadata group into one batch RPC: at most mds_batch entries per batch
+  // (0 disables batching entirely — the per-op legacy path), flushed early
+  // after mds_batch_linger once the first entry is waiting. Replicated
+  // groups apply a batch as ONE Raft command (one replication round
+  // amortized over the entries); unreplicated servers amortize the client
+  // round trip the same way.
+  std::size_t mds_batch = 0;
+  Duration mds_batch_linger = Duration::us(50);
+
+  // --- Leased client metadata cache ---
+  // Lease TTL for client-cached lookups (dentry/attr hits served without an
+  // MDS round trip). 0 disables the cache. Leases are revoked wholesale
+  // (epoch bump) whenever the serving metadata group crashes, restarts, or
+  // partitions, and per-path on every mutation, so a cached entry can never
+  // outlive a failover inconsistently.
+  Duration meta_lease = Duration::zero();
+
   // --- Metadata replication (Raft replica groups, src/raft/) ---
   MdsReplication mds_replication = MdsReplication::none;
   std::size_t mds_replicas = 3;

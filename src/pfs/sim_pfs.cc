@@ -4,10 +4,40 @@
 #include <any>
 #include <utility>
 
+#include "common/stats.h"
 #include "common/strutil.h"
+#include "common/trace.h"
 #include "pfs/faulty_fs.h"
 
 namespace tio::pfs {
+
+namespace {
+
+struct BatchCounters {
+  Counter& rpcs = counter("pfs.batch.rpcs");
+  Counter& ops = counter("pfs.batch.ops");
+  Counter& flush_full = counter("pfs.batch.flush_full");
+  Counter& flush_linger = counter("pfs.batch.flush_linger");
+  Counter& failures = counter("pfs.batch.failures");
+  // Client->MDS round trips that carry mutations: the denominator of the
+  // batching win (one per legacy dir_mutation/create RPC and raft submit,
+  // one per flushed batch regardless of its size).
+  Counter& mutation_round_trips = counter("pfs.meta.mutation_round_trips");
+};
+
+BatchCounters& bc() {
+  static BatchCounters counters;
+  return counters;
+}
+
+// Flush latency (first enqueue -> every waiter woken), feeding the
+// pfs.batch.flush histogram alongside the raft/plfs span families.
+const trace::SpanSite& batch_flush_site() {
+  static trace::SpanSite site("pfs.batch", "pfs.batch.flush");
+  return site;
+}
+
+}  // namespace
 
 std::string_view mds_replication_name(MdsReplication m) {
   switch (m) {
@@ -26,72 +56,31 @@ struct SimPfs::MetaSm : raft::StateMachine {
 
   std::any apply(raft::Index, const std::any& cmd) override {
     if (!cmd.has_value()) return {};  // leader no-op barrier entry
+    if (const auto* batch = std::any_cast<MetaBatch>(&cmd)) {
+      // One committed entry, N mutations: the amortization the batch path
+      // buys. Entries apply in submission order; each one is individually
+      // idempotent, so re-applying a duplicated batch is harmless.
+      applied_ops += batch->cmds.size();
+      MetaBatchApply out;
+      out.results.reserve(batch->cmds.size());
+      for (const MetaCommand& mc : batch->cmds) out.results.push_back(fs.apply_meta(mc));
+      return out;
+    }
     const auto& mc = std::any_cast<const MetaCommand&>(cmd);
     ++applied_ops;
-    MetaApply out;
-    switch (mc.kind) {
-      case MetaCommand::Kind::create: {
-        auto created = fs.ns_.create_file(mc.path, mc.excl);
-        if (!created.ok()) {
-          out.status = created.status();
-          break;
-        }
-        out.oid = created->oid;
-        out.created = created->created;
-        if (created->created) {
-          ++fs.stats_.creates;
-          fs.object(out.oid).mtime = fs.engine().now();
-        }
-        break;
-      }
-      case MetaCommand::Kind::mkdir:
-        out.status = fs.ns_.mkdir(mc.path);
-        break;
-      case MetaCommand::Kind::rmdir:
-        out.status = fs.ns_.rmdir(mc.path);
-        break;
-      case MetaCommand::Kind::unlink: {
-        auto removed = fs.ns_.unlink(mc.path);
-        if (!removed.ok()) {
-          out.status = removed.status();
-          break;
-        }
-        fs.objects_.erase(removed.value());
-        break;
-      }
-      case MetaCommand::Kind::rename:
-        out.status = fs.ns_.rename(mc.path, mc.path2);
-        break;
-    }
-    return out;
+    return fs.apply_meta(mc);
   }
 
   Duration apply_service(const std::any& cmd) const override {
     if (!cmd.has_value()) return Duration::zero();
-    const auto& mc = std::any_cast<const MetaCommand&>(cmd);
-    // Same serialized-insert degradation as the unreplicated dir_mutation
-    // path: the log already serializes mutations, but each one still costs
-    // directory-size-dependent MDS service time.
-    const auto dir_cost = [&](const std::string& p) {
-      const std::string parent(path_dirname(p));
-      const std::uint64_t entries = fs.ns_.dir_entry_count(parent);
-      const double degrade = 1.0 + static_cast<double>(entries) /
-                                       static_cast<double>(fs.config_.dir_degrade_entries);
-      return Duration::seconds(fs.config_.dir_insert_time.to_seconds() * degrade);
-    };
-    switch (mc.kind) {
-      case MetaCommand::Kind::create:
-        return dir_cost(mc.path) + fs.config_.mds_create_time;
-      case MetaCommand::Kind::rename: {
-        Duration d = dir_cost(mc.path);
-        if (path_dirname(mc.path) != path_dirname(mc.path2)) {
-          d = d + dir_cost(mc.path2);
-        }
-        return d;
-      }
-      default:
-        return dir_cost(mc.path);
+    if (const auto* batch = std::any_cast<MetaBatch>(&cmd)) {
+      // The replication round is amortized; the per-entry MDS service time
+      // is not — every insert still pays the directory-degraded cost.
+      Duration d = Duration::zero();
+      for (const MetaCommand& mc : batch->cmds) d += fs.meta_service(mc);
+      return d;
     }
+    return fs.meta_service(std::any_cast<const MetaCommand&>(cmd));
   }
 
   std::uint64_t snapshot_bytes() const override { return 4096 + 128 * applied_ops; }
@@ -100,8 +89,84 @@ struct SimPfs::MetaSm : raft::StateMachine {
   std::uint64_t applied_ops = 0;
 };
 
+MetaApply SimPfs::apply_meta(const MetaCommand& mc) {
+  MetaApply out;
+  switch (mc.kind) {
+    case MetaCommand::Kind::create: {
+      auto created = ns_.create_file(mc.path, mc.excl);
+      if (!created.ok()) {
+        out.status = created.status();
+        break;
+      }
+      out.oid = created->oid;
+      out.created = created->created;
+      if (created->created) {
+        ++stats_.creates;
+        object(out.oid).mtime = engine().now();
+      }
+      break;
+    }
+    case MetaCommand::Kind::mkdir:
+      out.status = ns_.mkdir(mc.path);
+      break;
+    case MetaCommand::Kind::rmdir:
+      out.status = ns_.rmdir(mc.path);
+      break;
+    case MetaCommand::Kind::unlink: {
+      auto removed = ns_.unlink(mc.path);
+      if (!removed.ok()) {
+        out.status = removed.status();
+        break;
+      }
+      objects_.erase(removed.value());
+      break;
+    }
+    case MetaCommand::Kind::rename:
+      out.status = ns_.rename(mc.path, mc.path2);
+      break;
+  }
+  // Invalidation-on-mutation: cached leases for the touched paths drop on
+  // every node before the mutator is acked.
+  if (meta_cache_) {
+    meta_cache_->invalidate(mc.path);
+    if (mc.kind == MetaCommand::Kind::rename) meta_cache_->invalidate(mc.path2);
+  }
+  return out;
+}
+
+Duration SimPfs::meta_service(const MetaCommand& mc) const {
+  // Same serialized-insert degradation as the unreplicated dir_mutation
+  // path: the log already serializes mutations, but each one still costs
+  // directory-size-dependent MDS service time.
+  const auto dir_cost = [&](const std::string& p) {
+    const std::string parent(path_dirname(p));
+    const std::uint64_t entries = ns_.dir_entry_count(parent);
+    const double degrade = 1.0 + static_cast<double>(entries) /
+                                     static_cast<double>(config_.dir_degrade_entries);
+    return Duration::seconds(config_.dir_insert_time.to_seconds() * degrade);
+  };
+  switch (mc.kind) {
+    case MetaCommand::Kind::create:
+      return dir_cost(mc.path) + config_.mds_create_time;
+    case MetaCommand::Kind::rename: {
+      Duration d = dir_cost(mc.path);
+      if (path_dirname(mc.path) != path_dirname(mc.path2)) {
+        d = d + dir_cost(mc.path2);
+      }
+      return d;
+    }
+    default:
+      return dir_cost(mc.path);
+  }
+}
+
 SimPfs::SimPfs(net::Cluster& cluster, PfsConfig config)
     : cluster_(cluster), config_(std::move(config)) {
+  group_epochs_.assign(config_.num_mds, 0);
+  forming_.assign(config_.num_mds, nullptr);
+  if (config_.meta_lease > Duration::zero()) {
+    meta_cache_ = std::make_unique<MetaCache>(engine(), config_.meta_lease);
+  }
   for (std::size_t i = 0; i < config_.num_mds; ++i) {
     mds_.push_back(std::make_unique<sim::FcfsServer>(engine(), config_.mds_concurrency,
                                                      str_printf("mds-%zu", i)));
@@ -123,6 +188,10 @@ SimPfs::SimPfs(net::Cluster& cluster, PfsConfig config)
     rc.redirect_backoff = config_.raft_redirect_backoff;
     rc.compact_threshold = config_.raft_compact_threshold;
     rc.compact_keep = config_.raft_compact_keep;
+    // Append pipelining rides with batching: both exist to stop a create
+    // storm from flooding the group with duplicate log-suffix bytes. Off
+    // when batching is off so the legacy event schedule is untouched.
+    rc.pipeline_appends = config_.mds_batch > 0;
     for (std::size_t g = 0; g < config_.num_mds; ++g) {
       std::vector<std::size_t> placement;
       if (g < config_.raft_placement.size() &&
@@ -149,28 +218,41 @@ void SimPfs::schedule_server_faults(const FaultPlan& plan) {
   const auto clamp_group = [this](int mds) {
     return static_cast<std::size_t>(mds) % raft_groups_.size();
   };
+  // Every fault event conservatively revokes the group's client leases:
+  // epoch bumps are cheap, and a cache that re-validates after a failover
+  // can never serve a stale entry across it.
   for (const ServerOutage& so : plan.server_outages) {
-    raft::Group& g = raft_group(clamp_group(so.mds));
+    const std::size_t gi = clamp_group(so.mds);
+    raft::Group& g = raft_group(gi);
     // The victim is resolved when the window opens (replica == -1 means
     // "whoever leads then"); the shared slot carries it to the restart.
     auto victim = std::make_shared<std::size_t>(0);
-    engine().at(so.begin, [&g, victim, want = so.replica] {
+    engine().at(so.begin, [this, gi, &g, victim, want = so.replica] {
       const int leader = g.leader_or_negative();
       *victim = want >= 0 ? static_cast<std::size_t>(want) % g.replicas()
                           : static_cast<std::size_t>(leader >= 0 ? leader : 0);
       g.crash(*victim);
+      revoke_leases(gi);
     });
-    engine().at(so.end, [&g, victim] { g.restart(*victim); });
+    engine().at(so.end, [this, gi, &g, victim] {
+      g.restart(*victim);
+      revoke_leases(gi);
+    });
   }
   for (const PartitionWindow& pw : plan.partitions) {
-    raft::Group& g = raft_group(clamp_group(pw.mds));
+    const std::size_t gi = clamp_group(pw.mds);
+    raft::Group& g = raft_group(gi);
     auto victim = std::make_shared<std::size_t>(0);
-    engine().at(pw.begin, [&g, victim] {
+    engine().at(pw.begin, [this, gi, &g, victim] {
       const int leader = g.leader_or_negative();
       *victim = static_cast<std::size_t>(leader >= 0 ? leader : 0);
       g.set_partitioned(*victim, true);
+      revoke_leases(gi);
     });
-    engine().at(pw.end, [&g, victim] { g.set_partitioned(*victim, false); });
+    engine().at(pw.end, [this, gi, &g, victim] {
+      g.set_partitioned(*victim, false);
+      revoke_leases(gi);
+    });
   }
 }
 
@@ -230,6 +312,7 @@ sim::Task<Status> SimPfs::mds_op(IoCtx ctx, std::string_view dir_path, Duration 
 }
 
 sim::Task<void> SimPfs::dir_mutation(IoCtx ctx, std::string dir_path) {
+  bc().mutation_round_trips.add();
   sim::Mutex& mu = dir_mutex(dir_path);
   co_await mu.lock();
   const std::uint64_t entries = ns_.dir_entry_count(dir_path);
@@ -244,6 +327,7 @@ sim::Task<void> SimPfs::dir_mutation(IoCtx ctx, std::string dir_path) {
 sim::Task<Result<MetaApply>> SimPfs::raft_submit(IoCtx ctx, std::string_view group_path,
                                                  MetaCommand cmd) {
   ++stats_.metadata_ops;
+  bc().mutation_round_trips.add();
   const std::uint64_t bytes = 48 + cmd.path.size() + cmd.path2.size();
   raft::Group& group = *raft_groups_[mds_of_path(group_path)];
   TIO_CO_ASSIGN_OR_RETURN(std::shared_ptr<const std::any> result,
@@ -253,6 +337,107 @@ sim::Task<Result<MetaApply>> SimPfs::raft_submit(IoCtx ctx, std::string_view gro
     co_return error(Errc::io_error, "raft: malformed apply result");
   }
   co_return std::any_cast<MetaApply>(*result);
+}
+
+// ------------------------------------------------- batched mutation client
+
+sim::Task<Result<MetaApply>> SimPfs::batch_submit(IoCtx ctx, std::string_view group_path,
+                                                  MetaCommand cmd) {
+  const std::size_t g = mds_of_path(group_path);
+  std::shared_ptr<PendingBatch>& slot = forming_[g];
+  if (!slot) {
+    slot = std::make_shared<PendingBatch>(engine());
+    slot->ctx = ctx;
+    // Linger flush: a partial batch never waits longer than the linger
+    // bound for stragglers. The captured pointer distinguishes this batch
+    // from successors, so a size-triggered flush makes the timer a no-op.
+    engine().after(config_.mds_batch_linger, [this, g, armed = slot] {
+      if (forming_[g] == armed) {
+        bc().flush_linger.add();
+        flush_batch(g);
+      }
+    });
+  }
+  auto pending = slot;
+  const std::size_t idx = pending->batch.cmds.size();
+  pending->batch.cmds.push_back(std::move(cmd));
+  bc().ops.add();
+  if (pending->batch.cmds.size() >= config_.mds_batch) {
+    bc().flush_full.add();
+    flush_batch(g);
+  }
+  co_await pending->gate.wait();
+  if (!pending->fail.ok()) co_return pending->fail;
+  if (!pending->done || idx >= pending->results.size()) {
+    co_return error(Errc::io_error, "meta batch: malformed batch result");
+  }
+  co_return pending->results[idx];
+}
+
+void SimPfs::flush_batch(std::size_t g) {
+  std::shared_ptr<PendingBatch> pending = std::move(forming_[g]);
+  forming_[g] = nullptr;
+  if (!pending || pending->batch.cmds.empty()) return;
+  engine().spawn(run_batch(g, std::move(pending)));
+}
+
+sim::Task<void> SimPfs::run_batch(std::size_t g, std::shared_ptr<PendingBatch> pending) {
+  const std::int64_t start_ns = engine().now().to_ns();
+  const std::size_t n = pending->batch.cmds.size();
+  bc().rpcs.add();
+  bc().mutation_round_trips.add();
+  static Histogram& occupancy = histogram("pfs.batch.occupancy");
+  occupancy.record(static_cast<std::int64_t>(n));
+  ++stats_.metadata_ops;
+  if (replicated()) {
+    // One Raft command carries the whole batch: one replication round, one
+    // commit-wait, N applied mutations with per-entry outcomes.
+    std::uint64_t bytes = 32;
+    for (const MetaCommand& mc : pending->batch.cmds) {
+      bytes += 48 + mc.path.size() + mc.path2.size();
+    }
+    auto result = co_await raft_groups_[g]->submit(pending->ctx.node, pending->ctx.rank,
+                                                   std::any(std::move(pending->batch)), bytes);
+    if (!result.ok()) {
+      bc().failures.add();
+      pending->fail = result.status();
+    } else if (!*result || !(*result)->has_value()) {
+      bc().failures.add();
+      pending->fail = error(Errc::io_error, "raft: malformed batch apply result");
+    } else {
+      pending->results = std::any_cast<const MetaBatchApply&>(**result).results;
+      pending->done = true;
+    }
+  } else {
+    // Unreplicated: one client round trip for the whole batch; the MDS
+    // still serves every entry's directory-degraded insert cost through
+    // its FCFS queue before applying it.
+    co_await engine().sleep(config_.rpc_overhead + cluster_.storage_latency());
+    pending->results.reserve(n);
+    for (const MetaCommand& mc : pending->batch.cmds) {
+      co_await mds_[g]->serve(meta_service(mc));
+      pending->results.push_back(apply_meta(mc));
+    }
+    pending->done = true;
+  }
+  trace::record_span(engine(), batch_flush_site(), pending->ctx.rank, start_ns);
+  pending->gate.open();
+}
+
+// ------------------------------------------------ leased client-side cache
+
+bool SimPfs::cache_lookup(const IoCtx& ctx, const std::string& path, MetaCache::Entry* out) {
+  if (!meta_cache_) return false;
+  const MetaCache::Entry* e =
+      meta_cache_->lookup(ctx.node, path, group_epochs_[mds_of_path(path)]);
+  if (e == nullptr) return false;
+  if (out != nullptr) *out = *e;
+  return true;
+}
+
+void SimPfs::cache_insert(const IoCtx& ctx, const std::string& path, ObjectId oid, bool is_dir) {
+  if (!meta_cache_) return;
+  meta_cache_->insert(ctx.node, path, oid, is_dir, group_epochs_[mds_of_path(path)]);
 }
 
 sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags flags) {
@@ -275,9 +460,14 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
       co_return error(Errc::exists, path);
     }
     Object& cached = object(existing->oid);
-    TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent,
-                                           cached.dentry_hot ? config_.mds_cached_open_time
-                                                             : config_.mds_open_time));
+    if (!cache_lookup(ctx, path)) {
+      // Miss (or cache off): pay the MDS round trip, then lease the dentry
+      // so this node's repeat opens within the TTL stay local.
+      TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent,
+                                             cached.dentry_hot ? config_.mds_cached_open_time
+                                                               : config_.mds_open_time));
+      cache_insert(ctx, path, existing->oid, /*is_dir=*/false);
+    }
     cached.dentry_hot = true;
     oid = existing->oid;
     if (flags.trunc && flags.write) {
@@ -296,7 +486,19 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
       TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
       co_return error(Errc::not_found, "parent: " + parent);
     }
-    if (replicated()) {
+    if (config_.mds_batch > 0) {
+      // Batched create: coalesced with other mutations bound for this
+      // group, applied as one idempotent batch command, acked with this
+      // entry's own outcome.
+      MetaCommand cmd;
+      cmd.kind = MetaCommand::Kind::create;
+      cmd.path = path;
+      cmd.excl = flags.excl;
+      TIO_CO_ASSIGN_OR_RETURN(MetaApply applied,
+                              co_await batch_submit(ctx, parent, std::move(cmd)));
+      TIO_CO_RETURN_IF_ERROR(applied.status);
+      oid = applied.oid;
+    } else if (replicated()) {
       // The create is acked only after the group leader committed and
       // applied it — the existence checks above are advisory, the apply
       // inside the log is authoritative.
@@ -309,6 +511,7 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
       oid = applied.oid;
     } else {
       co_await dir_mutation(ctx, parent);
+      bc().mutation_round_trips.add();
       TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_create_time));
       auto created = ns_.create_file(path, flags.excl);
       if (!created.ok()) co_return created.status();
@@ -318,6 +521,7 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
         Object& o = object(oid);
         o.mtime = engine().now();
       }
+      if (meta_cache_) meta_cache_->invalidate(path);
     }
   }
 
@@ -329,8 +533,13 @@ sim::Task<Result<FileId>> SimPfs::open(IoCtx ctx, std::string path, OpenFlags fl
 sim::Task<Status> SimPfs::close(IoCtx ctx, FileId file) {
   TIO_CO_ASSIGN_OR_RETURN(OpenFile * of, handle(file));
   const std::string parent = of->parent_dir;
+  (void)of;
+  // Keep the handle until the MDS round trip succeeds: in replicated mode
+  // the round trip can fail transiently (request timeout, leader change),
+  // and close_retried reissues the same fd — the retry must still find it.
+  TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_close_time));
   open_files_.erase(file);
-  co_return co_await mds_op(ctx, parent, config_.mds_close_time);
+  co_return Status::Ok();
 }
 
 sim::Task<void> SimPfs::acquire_write_locks(IoCtx ctx, Object& obj, std::uint64_t offset,
@@ -497,6 +706,13 @@ sim::Task<Status> SimPfs::mkdir(IoCtx ctx, std::string path) {
     TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, parent, config_.mds_open_time));
     co_return error(Errc::not_found, "parent: " + parent);
   }
+  if (config_.mds_batch > 0) {
+    MetaCommand cmd;
+    cmd.kind = MetaCommand::Kind::mkdir;
+    cmd.path = path;
+    TIO_CO_ASSIGN_OR_RETURN(MetaApply applied, co_await batch_submit(ctx, parent, std::move(cmd)));
+    co_return applied.status;
+  }
   if (replicated()) {
     MetaCommand cmd;
     cmd.kind = MetaCommand::Kind::mkdir;
@@ -505,6 +721,7 @@ sim::Task<Status> SimPfs::mkdir(IoCtx ctx, std::string path) {
     co_return applied.status;
   }
   co_await dir_mutation(ctx, parent);
+  if (meta_cache_) meta_cache_->invalidate(path);
   co_return ns_.mkdir(path);
 }
 
@@ -519,12 +736,20 @@ sim::Task<Status> SimPfs::rmdir(IoCtx ctx, std::string path) {
     co_return applied.status;
   }
   co_await dir_mutation(ctx, parent);
+  if (meta_cache_) meta_cache_->invalidate(path);
   co_return ns_.rmdir(path);
 }
 
 sim::Task<Status> SimPfs::unlink(IoCtx ctx, std::string path) {
   path = path_normalize(path);
   const std::string parent(path_dirname(path));
+  if (config_.mds_batch > 0) {
+    MetaCommand cmd;
+    cmd.kind = MetaCommand::Kind::unlink;
+    cmd.path = path;
+    TIO_CO_ASSIGN_OR_RETURN(MetaApply applied, co_await batch_submit(ctx, parent, std::move(cmd)));
+    co_return applied.status;
+  }
   if (replicated()) {
     MetaCommand cmd;
     cmd.kind = MetaCommand::Kind::unlink;
@@ -533,6 +758,7 @@ sim::Task<Status> SimPfs::unlink(IoCtx ctx, std::string path) {
     co_return applied.status;
   }
   co_await dir_mutation(ctx, parent);
+  if (meta_cache_) meta_cache_->invalidate(path);
   auto removed = ns_.unlink(path);
   if (!removed.ok()) co_return removed.status();
   objects_.erase(removed.value());
@@ -561,11 +787,32 @@ sim::Task<Status> SimPfs::rename(IoCtx ctx, std::string from, std::string to) {
   if (path_dirname(from) != path_dirname(to)) {
     co_await dir_mutation(ctx, std::string(path_dirname(to)));
   }
+  if (meta_cache_) {
+    meta_cache_->invalidate(from);
+    meta_cache_->invalidate(to);
+  }
   co_return ns_.rename(from, to);
 }
 
 sim::Task<Result<StatInfo>> SimPfs::stat(IoCtx ctx, std::string path) {
   path = path_normalize(path);
+  MetaCache::Entry lease;
+  if (cache_lookup(ctx, path, &lease)) {
+    // Lease hit: attributes served from the client cache, no MDS round
+    // trip. Sizes/mtimes come from the shared truth — the lease only
+    // vouches for existence and identity, which invalidation-on-mutation
+    // and epoch revocation keep safe.
+    StatInfo info;
+    info.is_dir = lease.is_dir;
+    if (!lease.is_dir) {
+      const auto it = objects_.find(lease.oid);
+      if (it != objects_.end()) {
+        info.size = it->second.size;
+        info.mtime = it->second.mtime;
+      }
+    }
+    co_return info;
+  }
   TIO_CO_RETURN_IF_ERROR(co_await mds_op(ctx, path_dirname(path), config_.mds_stat_time));
   auto entry = ns_.lookup(path);
   if (!entry.ok()) co_return entry.status();
@@ -578,6 +825,7 @@ sim::Task<Result<StatInfo>> SimPfs::stat(IoCtx ctx, std::string path) {
       info.mtime = it->second.mtime;
     }
   }
+  cache_insert(ctx, path, entry->is_dir ? kNoObject : entry->oid, entry->is_dir);
   co_return info;
 }
 

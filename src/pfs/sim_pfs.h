@@ -26,6 +26,7 @@
 #include "pfs/config.h"
 #include "pfs/extent_map.h"
 #include "pfs/fs_client.h"
+#include "pfs/meta_cache.h"
 #include "pfs/namespace.h"
 #include "pfs/ost.h"
 #include "raft/raft.h"
@@ -51,6 +52,22 @@ struct MetaApply {
   Status status;
   ObjectId oid = kNoObject;
   bool created = false;
+};
+
+// A batch of mutations bound for one metadata group, coalesced client-side
+// and applied as ONE log entry (replicated) or one amortized round trip
+// (unreplicated). Idempotent as a unit for the same reason the single
+// commands are: every entry's apply tolerates re-execution (create returns
+// the existing object, mkdir/unlink report exists/not_found), and the Raft
+// layer's group-wide applied index already guarantees exactly-once apply
+// per committed index.
+struct MetaBatch {
+  std::vector<MetaCommand> cmds;
+};
+
+// Per-entry outcomes of a MetaBatch, in submission order.
+struct MetaBatchApply {
+  std::vector<MetaApply> results;
 };
 
 class SimPfs : public FsClient {
@@ -89,9 +106,17 @@ class SimPfs : public FsClient {
   raft::Group& raft_group(std::size_t g) { return *raft_groups_[g]; }
   // Schedules the plan's server outages / partitions onto the replica
   // groups (crash at window start — resolving replica "leader" then —
-  // restart at window end). No-op when unreplicated; the testbed lowers
-  // such plans to path-prefix outages instead.
+  // restart at window end). Every fault event also revokes the group's
+  // client leases (epoch bump). No-op when unreplicated; the testbed
+  // lowers such plans to path-prefix outages instead.
   void schedule_server_faults(const FaultPlan& plan);
+
+  // --- leased client metadata cache (meta_lease > 0) ---
+  MetaCache* meta_cache() { return meta_cache_.get(); }
+  std::uint64_t group_epoch(std::size_t g) const { return group_epochs_[g]; }
+  // Wholesale lease revocation for one metadata group: cached entries
+  // issued under earlier epochs are discarded on their next lookup.
+  void revoke_leases(std::size_t g) { ++group_epochs_[g]; }
 
   struct Stats {
     std::uint64_t bytes_written = 0;
@@ -124,9 +149,39 @@ class SimPfs : public FsClient {
 
   struct MetaSm;  // raft::StateMachine over ns_ (defined in sim_pfs.cc)
 
+  // One forming batch per metadata group: mutations append until the batch
+  // fills (mds_batch entries) or the linger timer fires, then the whole
+  // batch travels as one RPC and every waiter wakes with its own result.
+  struct PendingBatch {
+    explicit PendingBatch(sim::Engine& e) : gate(e) {}
+    MetaBatch batch;
+    IoCtx ctx;  // first enqueuer; its node/rank carry the batch RPC
+    bool done = false;
+    Status fail;  // batch-wide transport failure (e.g. no reachable leader)
+    std::vector<MetaApply> results;
+    sim::Gate gate;
+  };
+
   Object& object(ObjectId oid);
   Result<OpenFile*> handle(FileId file);
   sim::Mutex& dir_mutex(const std::string& dir);
+  // Applies one mutation to the namespace (shared by the replicated state
+  // machine, the batch path, and nothing else — legacy unreplicated paths
+  // keep their historical inline form). Invalidate-on-mutation for the
+  // client metadata cache happens here.
+  MetaApply apply_meta(const MetaCommand& cmd);
+  // MDS service time of one mutation (directory-degraded insert cost).
+  Duration meta_service(const MetaCommand& cmd) const;
+  // Enqueues `cmd` into the forming batch of its metadata group and waits
+  // for the flushed batch's per-entry outcome. Only called when
+  // config_.mds_batch > 0.
+  sim::Task<Result<MetaApply>> batch_submit(IoCtx ctx, std::string_view group_path,
+                                            MetaCommand cmd);
+  void flush_batch(std::size_t g);
+  sim::Task<void> run_batch(std::size_t g, std::shared_ptr<PendingBatch> pending);
+  // True when a valid lease for (node, path) exists; misses are counted.
+  bool cache_lookup(const IoCtx& ctx, const std::string& path, MetaCache::Entry* out = nullptr);
+  void cache_insert(const IoCtx& ctx, const std::string& path, ObjectId oid, bool is_dir);
   // RPC + queue + service at the MDS serving `dir_path`. Unreplicated this
   // never fails; replicated it is a leader read and can surface
   // Errc::busy when the group has no reachable leader.
@@ -150,6 +205,9 @@ class SimPfs : public FsClient {
   PfsConfig config_;
   Namespace ns_;
   std::unique_ptr<MetaSm> meta_sm_;
+  std::unique_ptr<MetaCache> meta_cache_;
+  std::vector<std::uint64_t> group_epochs_;
+  std::vector<std::shared_ptr<PendingBatch>> forming_;
   std::vector<std::unique_ptr<raft::Group>> raft_groups_;
   std::vector<std::unique_ptr<sim::FcfsServer>> mds_;
   std::vector<std::unique_ptr<Ost>> osts_;

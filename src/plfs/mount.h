@@ -51,6 +51,15 @@ struct PlfsMount {
   // the retry policy — and readers skip the stale-marker scan entirely.
   bool mds_replicated = false;
 
+  // The backing metadata service batches mutations client-side
+  // (pfs::PfsConfig::mds_batch > 0). The middleware then issues the
+  // independent legs of its create path (data/index log creates, the
+  // close-time dropping create + openhost unlink) concurrently instead of
+  // sequentially, so they land in the same batch RPC rather than each
+  // paying a full round trip. Off by default: the sequential legacy order
+  // is part of the byte-identity contract for unbatched runs.
+  bool meta_batching = false;
+
   // Index-log write batching (entries buffered per writer before an append
   // hits the index log; PLFS's index buffering).
   std::size_t index_flush_every = 64;

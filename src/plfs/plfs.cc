@@ -9,6 +9,7 @@
 #include "common/strutil.h"
 #include "common/trace.h"
 #include "plfs/pattern.h"
+#include "sim/sync.h"
 #include "sim/timeout.h"
 
 namespace tio::plfs {
@@ -233,6 +234,36 @@ sim::Task<Status> Plfs::ensure_container_skeleton(pfs::IoCtx ctx, const Containe
     }
   }
   TIO_CO_RETURN_IF_ERROR(co_await ensure_dir(ctx, layout.canonical_container()));
+  if (mount_.meta_batching) {
+    // The access marker and the meta/ and openhosts/ subdirectories are
+    // independent once the container exists: issue all three concurrently so
+    // the client-side batcher coalesces their mutations into one RPC.
+    Status access_st, meta_st, hosts_st;
+    sim::WaitGroup wg(engine());
+    auto marker = [](Plfs& p, pfs::IoCtx c, const ContainerLayout& lay, Status& out,
+                     sim::WaitGroup& group) -> sim::Task<void> {
+      auto fd = co_await p.open_retried(c, lay.access_path(), OpenFlags::wr_create_excl());
+      if (fd.ok()) {
+        out = co_await p.close_retried(c, *fd);
+      } else if (fd.status().code() != Errc::exists) {
+        out = fd.status();
+      }
+      group.done();
+    };
+    auto subdir = [](Plfs& p, pfs::IoCtx c, std::string dir, Status& out,
+                     sim::WaitGroup& group) -> sim::Task<void> {
+      out = co_await p.ensure_dir(c, std::move(dir));
+      group.done();
+    };
+    wg.add(3);
+    engine().spawn(marker(*this, ctx, layout, access_st, wg));
+    engine().spawn(subdir(*this, ctx, layout.meta_dir(), meta_st, wg));
+    engine().spawn(subdir(*this, ctx, layout.openhosts_dir(), hosts_st, wg));
+    co_await wg.wait();
+    TIO_CO_RETURN_IF_ERROR(access_st);
+    TIO_CO_RETURN_IF_ERROR(meta_st);
+    co_return hosts_st;
+  }
   // The access marker: created once, tolerated when racing.
   auto access = co_await open_retried(ctx, layout.access_path(), OpenFlags::wr_create_excl());
   if (access.ok()) {
@@ -306,17 +337,56 @@ sim::Task<Result<std::unique_ptr<WriteHandle>>> Plfs::open_write(pfs::IoCtx ctx,
     TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *marker));
   }
 
-  TIO_CO_ASSIGN_OR_RETURN(
-      pfs::FileId data_fd,
-      co_await open_retried(ctx, lay.data_log_path_on(rank, placed), OpenFlags::wr_trunc()));
-  TIO_CO_ASSIGN_OR_RETURN(
-      pfs::FileId index_fd,
-      co_await open_retried(ctx, lay.index_log_path_on(rank, placed), OpenFlags::wr_trunc()));
+  pfs::FileId data_fd{};
+  pfs::FileId index_fd{};
+  if (mount_.meta_batching) {
+    // Data log, index log, and the openhosts/ record are independent
+    // creates: issue them concurrently so they land in one batch RPC.
+    Status data_st, index_st, host_st;
+    sim::WaitGroup wg(engine());
+    auto create_log = [](Plfs& p, pfs::IoCtx c, std::string path, pfs::FileId& fd, Status& out,
+                         sim::WaitGroup& group) -> sim::Task<void> {
+      auto r = co_await p.open_retried(c, std::move(path), OpenFlags::wr_trunc());
+      if (r.ok()) {
+        fd = *r;
+      } else {
+        out = r.status();
+      }
+      group.done();
+    };
+    auto host_record = [](Plfs& p, pfs::IoCtx c, std::string path, Status& out,
+                          sim::WaitGroup& group) -> sim::Task<void> {
+      auto r = co_await p.open_retried(c, std::move(path), OpenFlags::wr_create());
+      if (r.ok()) {
+        out = co_await p.close_retried(c, *r);
+      } else {
+        out = r.status();
+      }
+      group.done();
+    };
+    wg.add(3);
+    engine().spawn(
+        create_log(*this, ctx, lay.data_log_path_on(rank, placed), data_fd, data_st, wg));
+    engine().spawn(
+        create_log(*this, ctx, lay.index_log_path_on(rank, placed), index_fd, index_st, wg));
+    engine().spawn(host_record(*this, ctx, lay.openhost_record_path(rank), host_st, wg));
+    co_await wg.wait();
+    TIO_CO_RETURN_IF_ERROR(data_st);
+    TIO_CO_RETURN_IF_ERROR(index_st);
+    TIO_CO_RETURN_IF_ERROR(host_st);
+  } else {
+    TIO_CO_ASSIGN_OR_RETURN(
+        data_fd,
+        co_await open_retried(ctx, lay.data_log_path_on(rank, placed), OpenFlags::wr_trunc()));
+    TIO_CO_ASSIGN_OR_RETURN(
+        index_fd,
+        co_await open_retried(ctx, lay.index_log_path_on(rank, placed), OpenFlags::wr_trunc()));
 
-  // Record this writer in openhosts/.
-  auto host = co_await open_retried(ctx, lay.openhost_record_path(rank), OpenFlags::wr_create());
-  if (!host.ok()) co_return host.status();
-  TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *host));
+    // Record this writer in openhosts/.
+    auto host = co_await open_retried(ctx, lay.openhost_record_path(rank), OpenFlags::wr_create());
+    if (!host.ok()) co_return host.status();
+    TIO_CO_RETURN_IF_ERROR(co_await close_retried(ctx, *host));
+  }
 
   co_return std::unique_ptr<WriteHandle>(
       new WriteHandle(*this, ctx, std::move(lay), rank, data_fd, index_fd));
@@ -372,12 +442,48 @@ sim::Task<Status> WriteHandle::close() {
   TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, index_fd_));
   // Size dropping: the logical high water is encoded in the name, so stat
   // never needs index aggregation.
-  auto drop = co_await plfs_->open_retried(ctx_, layout_.meta_dropping_path(rank_, high_water_),
-                                           OpenFlags::wr_create());
-  if (!drop.ok()) co_return drop.status();
-  TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, *drop));
-  TIO_CO_RETURN_IF_ERROR(
-      co_await plfs_->unlink_retried(ctx_, layout_.openhost_record_path(rank_)));
+  if (plfs_->mount_.meta_batching) {
+    // The dropping create and the openhost unlink are independent
+    // mutations: issue them concurrently so they share one batch RPC.
+    Status drop_st, host_st;
+    sim::WaitGroup wg(plfs_->engine());
+    auto dropping = [](Plfs& p, pfs::IoCtx c, std::string path, Status& out,
+                       sim::WaitGroup& group) -> sim::Task<void> {
+      auto r = co_await p.open_retried(c, std::move(path), OpenFlags::wr_create());
+      if (r.ok()) {
+        out = co_await p.close_retried(c, *r);
+      } else {
+        out = r.status();
+      }
+      group.done();
+    };
+    auto unlink_host = [](Plfs& p, pfs::IoCtx c, std::string path, Status& out,
+                          sim::WaitGroup& group) -> sim::Task<void> {
+      const Status st = co_await p.unlink_retried(c, std::move(path));
+      // Replicated submits are at-least-once: a lost ack makes the retry
+      // re-apply the unlink and see not_found. The record is per-rank, so
+      // already-gone is success.
+      if (!st.ok() && st.code() != Errc::not_found) out = st;
+      group.done();
+    };
+    wg.add(2);
+    plfs_->engine().spawn(
+        dropping(*plfs_, ctx_, layout_.meta_dropping_path(rank_, high_water_), drop_st, wg));
+    plfs_->engine().spawn(
+        unlink_host(*plfs_, ctx_, layout_.openhost_record_path(rank_), host_st, wg));
+    co_await wg.wait();
+    TIO_CO_RETURN_IF_ERROR(drop_st);
+    TIO_CO_RETURN_IF_ERROR(host_st);
+  } else {
+    auto drop = co_await plfs_->open_retried(ctx_, layout_.meta_dropping_path(rank_, high_water_),
+                                             OpenFlags::wr_create());
+    if (!drop.ok()) co_return drop.status();
+    TIO_CO_RETURN_IF_ERROR(co_await plfs_->close_retried(ctx_, *drop));
+    const Status host_gone =
+        co_await plfs_->unlink_retried(ctx_, layout_.openhost_record_path(rank_));
+    // See the batched branch: tolerate a lost-ack retry's not_found.
+    if (!host_gone.ok() && host_gone.code() != Errc::not_found) co_return host_gone;
+  }
   closed_ = true;
   co_return Status::Ok();
 }

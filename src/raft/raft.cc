@@ -70,6 +70,7 @@ struct RaftCounters {
   Counter& redirects = counter("raft.redirects");
   Counter& election_waits = counter("raft.election_waits");
   Counter& client_timeouts = counter("raft.client_timeouts");
+  Counter& appends_suppressed = counter("raft.appends_suppressed");
   Counter& snapshots_sent = counter("raft.snapshots_sent");
   Counter& snapshots_installed = counter("raft.snapshots_installed");
   Counter& compactions = counter("raft.compactions");
@@ -141,6 +142,9 @@ struct Group::Node {
 
   // Leader state.
   std::vector<Index> next, match;
+  // Append pipelining (config.pipeline_appends): one outstanding
+  // AppendEntries per peer; coalesced follow-ups ride the reply.
+  std::vector<char> append_inflight, append_pending;
   std::vector<bool> granted;
   std::size_t votes = 0;
   std::map<Index, std::shared_ptr<ReplyState>> waiters;
@@ -295,6 +299,9 @@ void Group::dispatch(std::size_t me, std::size_t from, int tag, std::any msg) {
         break;
       }
       if (n.role != Node::Role::leader || ar.term != n.term) break;
+      if (config_.pipeline_appends && from < n.append_inflight.size()) {
+        n.append_inflight[from] = 0;
+      }
       if (ar.success) {
         if (ar.match > n.match[from]) n.match[from] = ar.match;
         n.next[from] = n.match[from] + 1;
@@ -363,7 +370,7 @@ void Group::arm_heartbeat(std::size_t r) {
     if (!running_ || n.down || gen != n.timer_gen) return;
     if (n.role != Node::Role::leader) return;
     rc().heartbeats.add();
-    broadcast_appends(r);
+    broadcast_appends(r, /*force=*/true);
     arm_heartbeat(r);
   });
 }
@@ -404,6 +411,8 @@ void Group::become_leader(std::size_t r) {
   }
   n.next.assign(config_.replicas, n.log.last_index() + 1);
   n.match.assign(config_.replicas, 0);
+  n.append_inflight.assign(config_.replicas, 0);
+  n.append_pending.assign(config_.replicas, 0);
   // No-op barrier entry: lets entries from previous terms commit promptly
   // without waiting for client traffic (Raft §5.4.2).
   append_leader_entry(r, std::any(), 16);
@@ -438,14 +447,26 @@ Index Group::append_leader_entry(std::size_t r, std::any cmd, std::uint64_t byte
   return n.log.last_index();
 }
 
-void Group::broadcast_appends(std::size_t r) {
+void Group::broadcast_appends(std::size_t r, bool force) {
   for (std::size_t p = 0; p < config_.replicas; ++p) {
-    if (p != r) send_append(r, p);
+    if (p != r) send_append(r, p, force);
   }
 }
 
-void Group::send_append(std::size_t leader, std::size_t peer) {
+void Group::send_append(std::size_t leader, std::size_t peer, bool force) {
   Node& n = *nodes_[leader];
+  if (config_.pipeline_appends && peer < n.append_inflight.size()) {
+    // One append in flight per peer: follow-ups coalesce into a single
+    // pending bit served by the reply. Heartbeats force through so a lost
+    // reply can only stall a peer for one heartbeat interval.
+    if (!force && n.append_inflight[peer]) {
+      n.append_pending[peer] = 1;
+      rc().appends_suppressed.add();
+      return;
+    }
+    n.append_inflight[peer] = 1;
+    n.append_pending[peer] = 0;
+  }
   if (n.next[peer] <= n.log.snapshot_index()) {
     rc().snapshots_sent.add();
     send(leader, peer, kTagInstallSnapshot,
@@ -624,7 +645,7 @@ void Group::unpark() {
     Node& n = *nodes_[r];
     if (n.down) continue;
     if (n.role == Node::Role::leader) {
-      broadcast_appends(r);
+      broadcast_appends(r, /*force=*/true);
       arm_heartbeat(r);
     } else {
       arm_election(r);

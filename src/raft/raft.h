@@ -63,6 +63,13 @@ struct RaftConfig {
   int max_attempts = 24;                         // per submit/serve_read
   std::size_t compact_threshold = 1024;          // log entries before compaction
   std::size_t compact_keep = 128;                // tail kept for lagging followers
+  // Append pipelining: while an AppendEntries RPC to a peer is in flight,
+  // further submits mark the peer pending instead of re-sending the whole
+  // log suffix; the reply (or the next heartbeat, which always forces a
+  // send) triggers the follow-up. Under a create storm this turns O(n^2)
+  // duplicate entry bytes into O(n) without changing commit semantics.
+  // Off by default: the legacy eager schedule stays byte-identical.
+  bool pipeline_appends = false;
 };
 
 // The replicated state machine. apply() is invoked exactly once per
@@ -140,8 +147,8 @@ class Group {
   void start_election(std::size_t r);
   void become_leader(std::size_t r);
   void step_down(std::size_t r, Term t);
-  void broadcast_appends(std::size_t r);
-  void send_append(std::size_t leader, std::size_t peer);
+  void broadcast_appends(std::size_t r, bool force = false);
+  void send_append(std::size_t leader, std::size_t peer, bool force = false);
   void advance_commit(std::size_t r);
   void schedule_apply(std::size_t r);
   sim::Task<void> apply_drain(std::size_t r);

@@ -4,6 +4,21 @@
 
 #include "common/stats.h"
 
+// Recycled frames bypass the allocator, so use-after-free of a pooled
+// coroutine frame is invisible to ASan by default: the stale writer quietly
+// corrupts whichever frame got the memory next. Poison cached blocks (minus
+// the free-list link word) so the first stale touch faults at its source.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TIO_FRAME_POOL_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define TIO_FRAME_POOL_ASAN 1
+#endif
+#ifdef TIO_FRAME_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace tio::sim {
 namespace {
 
@@ -37,6 +52,9 @@ std::size_t class_bytes(std::size_t cls) { return (cls + 1) * FramePool::kGranul
 
 void* FramePool::allocate(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
+#ifdef TIO_FRAME_POOL_NO_RECYCLE
+  return ::operator new(bytes);
+#endif
   PoolState& s = state();
   if (bytes > kMaxPooled) {
     ++s.totals.oversize;
@@ -44,6 +62,9 @@ void* FramePool::allocate(std::size_t bytes) {
   }
   const std::size_t cls = class_of(bytes);
   if (FreeNode* n = s.free_lists[cls]) {
+#ifdef TIO_FRAME_POOL_ASAN
+    __asan_unpoison_memory_region(n, class_bytes(cls));
+#endif
     s.free_lists[cls] = n->next;
     --s.cached[cls];
     --s.totals.cached;
@@ -57,6 +78,10 @@ void* FramePool::allocate(std::size_t bytes) {
 void FramePool::deallocate(void* p, std::size_t bytes) noexcept {
   if (p == nullptr) return;
   if (bytes == 0) bytes = 1;
+#ifdef TIO_FRAME_POOL_NO_RECYCLE
+  ::operator delete(p);
+  return;
+#endif
   PoolState& s = state();
   if (bytes > kMaxPooled) {
     ::operator delete(p);
@@ -73,6 +98,12 @@ void FramePool::deallocate(void* p, std::size_t bytes) noexcept {
   s.free_lists[cls] = n;
   ++s.cached[cls];
   ++s.totals.cached;
+#ifdef TIO_FRAME_POOL_ASAN
+  // Leave the link word readable: LeakSanitizer cannot scan poisoned bytes,
+  // and it needs the `next` chain to see cached blocks as reachable.
+  __asan_poison_memory_region(reinterpret_cast<char*>(n) + sizeof(FreeNode),
+                              class_bytes(cls) - sizeof(FreeNode));
+#endif
 }
 
 FramePool::Stats FramePool::stats() { return state().totals; }
@@ -95,6 +126,9 @@ void FramePool::trim() noexcept {
   PoolState& s = state();
   for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
     while (FreeNode* n = s.free_lists[cls]) {
+#ifdef TIO_FRAME_POOL_ASAN
+      __asan_unpoison_memory_region(n, class_bytes(cls));
+#endif
       s.free_lists[cls] = n->next;
       ::operator delete(n);
       --s.cached[cls];

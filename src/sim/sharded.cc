@@ -54,8 +54,10 @@ void ShardPool::run_all() {
       }
     }
     // Flush this thread's frame-pool deltas while its thread-locals are
-    // still alive.
+    // still alive, then free the recycling cache: frames cached on an
+    // exited thread are unreachable and read as leaks.
     FramePool::publish_counters();
+    FramePool::trim();
   };
 
   std::vector<std::thread> threads;
@@ -186,6 +188,7 @@ std::uint64_t ShardedEngine::run() {
         run_window(shard);
       }
       FramePool::publish_counters();
+      FramePool::trim();  // cached frames on an exited thread read as leaks
     };
     std::vector<std::thread> threads;
     threads.reserve(shards_ - 1);

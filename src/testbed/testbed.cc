@@ -109,6 +109,7 @@ Rig::Rig(Options options)
   mount_.index_wire = options.index_wire;
   mount_.retry = options.retry;
   mount_.mds_replicated = replicated;
+  mount_.meta_batching = options.pfs.mds_batch > 0;
   // One plan spec drives both replication modes: server-targeted faults
   // run against the replica groups when they exist, and lower to
   // path-prefix outages of the victim namespace when they don't.

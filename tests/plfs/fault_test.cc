@@ -27,7 +27,7 @@ constexpr int kRounds = 4;
 constexpr std::uint64_t kRecord = 3000;
 constexpr std::uint64_t kTotal = static_cast<std::uint64_t>(kProcs) * kRounds * kRecord;
 
-PlfsMount chaos_mount(bool replicated = false) {
+PlfsMount chaos_mount(bool replicated = false, bool batching = false) {
   PlfsMount m;
   for (std::size_t i = 0; i < 4; ++i) {
     m.backends.push_back("/vol" + std::to_string(i) + "/plfs");
@@ -35,14 +35,17 @@ PlfsMount chaos_mount(bool replicated = false) {
   m.num_subdirs = 8;
   m.index_flush_every = 8;
   m.mds_replicated = replicated;
+  m.meta_batching = batching;
   return m;
 }
 
 struct ChaosWorld {
-  explicit ChaosWorld(const std::string& plan_spec, bool replicated = false)
-      : cluster(engine, cluster_config()), base(cluster, pfs_config(replicated)),
+  explicit ChaosWorld(const std::string& plan_spec, bool replicated = false,
+                      std::size_t batch = 0, Duration lease = Duration::zero())
+      : cluster(engine, cluster_config()),
+        base(cluster, pfs_config(replicated, batch, lease)),
         faulty(base, client_plan(plan_spec, replicated)),
-        plfs(faulty, chaos_mount(replicated)) {
+        plfs(faulty, chaos_mount(replicated, batch > 0)) {
     // Replicated worlds keep server-targeted faults for the raft layer;
     // unreplicated ones lower them to whole-volume outages (what the
     // testbed Rig does for --mds_replication=none).
@@ -66,11 +69,14 @@ struct ChaosWorld {
     c.cores_per_node = 4;
     return c;
   }
-  static pfs::PfsConfig pfs_config(bool replicated = false) {
+  static pfs::PfsConfig pfs_config(bool replicated = false, std::size_t batch = 0,
+                                   Duration lease = Duration::zero()) {
     pfs::PfsConfig c;
     c.num_mds = 4;
     c.num_osts = 8;
     if (replicated) c.mds_replication = pfs::MdsReplication::raft;
+    c.mds_batch = batch;
+    c.meta_lease = lease;
     return c;
   }
 
@@ -269,8 +275,15 @@ TEST(Chaos, MdsOutageFailsOverToFederationRing) {
 // span ~67-123 virtual ms under seed 11.
 constexpr int kWaves = 6;
 
-void create_storm(ChaosWorld& w) {
+void create_storm(ChaosWorld& w, bool lease_vol1_first = false) {
   mpi::run_spmd(w.cluster, kProcs, [&](mpi::Comm comm) -> sim::Task<void> {
+    if (lease_vol1_first && comm.rank() == 0) {
+      // Lease /vol1 before any fault window opens (the stat must live
+      // inside the SPMD program: a separate engine.run() would drain the
+      // queue and fast-forward through the scheduled fault events).
+      EXPECT_TRUE((co_await w.faulty.stat(pfs::IoCtx{3, 0}, "/vol1")).ok());
+    }
+    co_await comm.barrier();
     for (int i = 0; i < kWaves; ++i) {
       const std::string logical = "/storm" + std::to_string(i);
       auto file = co_await MpiFile::open_write(w.plfs, comm, logical);
@@ -388,6 +401,95 @@ sim::Task<Status> eventually(sim::Engine& engine, Op op) {
     co_await engine.sleep(Duration::ms(2));
   }
   co_return last;
+}
+
+// The batched mutation path through the same leader crash: coalesced
+// create batches are single replicated commands, so an acked create is an
+// applied create no matter how many entries shared its RPC. Client leases
+// must be revoked across the failover (epoch bump) — every post-crash open
+// revalidates instead of trusting a pre-crash lease.
+TEST(Chaos, BatchedCreateStormSurvivesLeaderCrash) {
+  const std::uint64_t failovers_before = histogram("raft.failover").count();
+  const std::uint64_t elections_before = counter("raft.elections_won").value();
+  const std::uint64_t batch_ops_before = counter("pfs.batch.ops").value();
+  const std::uint64_t batch_rpcs_before = counter("pfs.batch.rpcs").value();
+  const std::uint64_t inserts_before = counter("pfs.meta_cache.inserts").value();
+
+  // Same seed and window as the unbatched crash test: group 1's leader
+  // dies while create batches are in flight.
+  ChaosWorld w("server_outage=1:leader@95-250,seed=11", /*replicated=*/true,
+               /*batch=*/8, /*lease=*/Duration::ms(50));
+  create_storm(w);
+
+  // The storm actually went through the batcher, and the batches coalesced:
+  // strictly fewer RPCs than member ops.
+  const std::uint64_t batch_ops = counter("pfs.batch.ops").value() - batch_ops_before;
+  const std::uint64_t batch_rpcs = counter("pfs.batch.rpcs").value() - batch_rpcs_before;
+  EXPECT_GT(batch_ops, 0u);
+  EXPECT_LT(batch_rpcs, batch_ops);
+
+  // The crash interrupted live traffic and forced an election.
+  EXPECT_GT(histogram("raft.failover").count(), failovers_before);
+  EXPECT_GT(counter("raft.elections_won").value(), elections_before + 4);
+
+  // Zero lost acked creates: every byte acked to a writer is readable after
+  // the window (read_n1 checks content, not just size), and no read can be
+  // served from a pre-failover lease — both window edges bumped group 1's
+  // epoch, so any lease issued before the crash fails the epoch check.
+  w.sleep_until_ms(2000);
+  for (int i = 0; i < kWaves; ++i) {
+    const std::string logical = "/storm" + std::to_string(i);
+    for (const ReadStrategy strategy :
+         {ReadStrategy::original, ReadStrategy::parallel_read}) {
+      EXPECT_EQ(read_n1(w, logical, strategy).size(), kTotal)
+          << logical << " strategy " << static_cast<int>(strategy);
+    }
+  }
+  EXPECT_GT(counter("pfs.meta_cache.inserts").value(), inserts_before);
+  EXPECT_GE(w.base.group_epoch(1), 2u);  // crash edge + restart edge
+}
+
+// A lease issued before a partition must not be trusted across it: both
+// window edges bump the group's epoch, so the pre-cut dentry fails the
+// epoch check on its next lookup (checked before TTL — revocation wins
+// even on an entry that also expired). A post-heal lease that merely sits
+// past its TTL dies on expiry. Both retirement paths are driven
+// explicitly against group 1 (/vol1).
+TEST(Chaos, LeaseExpiryAcrossPartitionForcesRevalidation) {
+  const std::uint64_t elections_before = counter("raft.elections_won").value();
+  ChaosWorld w("partition=1@95-250,seed=11", /*replicated=*/true,
+               /*batch=*/8, /*lease=*/Duration::ms(50));
+
+  const std::uint64_t revoked_before = counter("pfs.meta_cache.epoch_revoked").value();
+  // Rank 0 leases /vol1 at t=0 (epoch 0), then the storm spans the cut:
+  // group 1 elects around its partitioned leader.
+  create_storm(w, /*lease_vol1_first=*/true);
+  EXPECT_GT(counter("raft.elections_won").value(), elections_before + 4);
+
+  // Past the heal edge the epoch is 2: the pre-cut lease is revoked on its
+  // next lookup, not silently served.
+  w.sleep_until_ms(2000);
+  EXPECT_GE(w.base.group_epoch(1), 2u);
+  test::run_task(w.engine, [](ChaosWorld& w) -> sim::Task<void> {
+    const pfs::IoCtx ctx{3, 0};
+    EXPECT_TRUE((co_await w.faulty.stat(ctx, "/vol1")).ok());
+  }(w));
+  EXPECT_EQ(counter("pfs.meta_cache.epoch_revoked").value(), revoked_before + 1);
+
+  // That revalidating stat re-leased the dentry; letting the TTL lapse
+  // retires it through the expiry path.
+  const std::uint64_t expired_before = counter("pfs.meta_cache.expired").value();
+  w.sleep_until_ms(2060);  // 60 ms > the 50 ms lease
+  test::run_task(w.engine, [](ChaosWorld& w) -> sim::Task<void> {
+    const pfs::IoCtx ctx{3, 0};
+    EXPECT_TRUE((co_await w.faulty.stat(ctx, "/vol1")).ok());
+  }(w));
+  EXPECT_EQ(counter("pfs.meta_cache.expired").value(), expired_before + 1);
+
+  // And the acked storm is fully readable after the heal.
+  for (int i = 0; i < kWaves; ++i) {
+    EXPECT_EQ(read_n1(w, "/storm" + std::to_string(i), ReadStrategy::original).size(), kTotal);
+  }
 }
 
 // mkdir + creates + same-directory rename + unlink + rmdir, all through

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Summarize every checked-in BENCH_*.json at the repo root.
+
+The result files are free-form (each PR records what its benchmark measured),
+but they share a few conventional keys: `benchmark`/`bench`, `date`,
+`description`, `acceptance`, and flat numeric tables. This report renders a
+one-screen digest per file so a reader (or CI) can see at a glance what has
+been measured and that every file still parses.
+
+Exit status is non-zero if any BENCH_*.json is unreadable or not a JSON
+object — ci.sh runs this as the parse gate for the checked-in results.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+INDENT = "  "
+MAX_DEPTH = 2  # deeper nests are summarized, not dumped
+MAX_ITEMS = 8  # per table, keep the digest one screen
+
+
+def fmt_scalar(v):
+    if isinstance(v, float):
+        return f"{v:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def render(value, depth=1):
+    """Yield indented digest lines for one JSON subtree."""
+    pad = INDENT * depth
+    if isinstance(value, dict):
+        flat = {k: v for k, v in value.items() if not isinstance(v, (dict, list))}
+        nested = {k: v for k, v in value.items() if isinstance(v, (dict, list))}
+        for i, (k, v) in enumerate(flat.items()):
+            if i == MAX_ITEMS:
+                yield f"{pad}... ({len(flat) - MAX_ITEMS} more)"
+                break
+            yield f"{pad}{k}: {fmt_scalar(v)}"
+        for k, v in nested.items():
+            if depth >= MAX_DEPTH:
+                yield f"{pad}{k}: {summarize(v)}"
+            else:
+                yield f"{pad}{k}:"
+                yield from render(v, depth + 1)
+    elif isinstance(value, list):
+        yield f"{pad}{summarize(value)}"
+    else:
+        yield f"{pad}{fmt_scalar(value)}"
+
+
+def summarize(value):
+    if isinstance(value, list):
+        return f"[{len(value)} entries]"
+    if isinstance(value, dict):
+        keys = ", ".join(list(value)[:MAX_ITEMS])
+        more = ", ..." if len(value) > MAX_ITEMS else ""
+        return f"{{{keys}{more}}}"
+    return fmt_scalar(value)
+
+
+def report(path: Path) -> bool:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path.name}: UNREADABLE ({e})", file=sys.stderr)
+        return False
+    if not isinstance(data, dict):
+        print(f"{path.name}: expected a JSON object, got {type(data).__name__}",
+              file=sys.stderr)
+        return False
+
+    title = data.get("benchmark") or data.get("bench") or "(untitled)"
+    date = data.get("date", "")
+    print(f"== {path.name} — {title}" + (f" ({date})" if date else ""))
+    desc = data.get("description", "")
+    if desc:
+        print(f"{INDENT}{desc[:200]}{'...' if len(desc) > 200 else ''}")
+    if "acceptance" in data:
+        print(f"{INDENT}acceptance: {summarize(data['acceptance'])}")
+
+    skip = {"benchmark", "bench", "description", "date", "acceptance", "schema",
+            "build_type", "compiler", "notes"}
+    for key, value in data.items():
+        if key in skip:
+            continue
+        if isinstance(value, (dict, list)):
+            print(f"{INDENT}{key}:")
+            for line in render(value, 2):
+                print(line)
+        else:
+            print(f"{INDENT}{key}: {fmt_scalar(value)}")
+    print()
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="result files (default: BENCH_*.json beside the repo root)")
+    args = parser.parse_args()
+
+    files = args.files or sorted(Path(__file__).resolve().parent.parent.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    ok = True
+    for path in files:
+        ok &= report(path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
