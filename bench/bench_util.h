@@ -16,6 +16,7 @@
 #include "common/strutil.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "net/topology.h"
 #include "plfs/pattern.h"
 #include "sim/sharded.h"
 #include "testbed/testbed.h"
@@ -238,7 +239,7 @@ inline void json_counters(std::FILE* f) {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   for (const char* prefix :
        {"plfs.index", "plfs.index_cache", "plfs.fault", "plfs.retry", "plfs.degrade",
-        "iolib.cb", "raft", "pfs.batch", "pfs.meta_cache", "pfs.meta"}) {
+        "iolib.cb", "raft", "pfs.batch", "pfs.meta_cache", "pfs.meta", "net.topo"}) {
     const auto group = counter_snapshot(prefix);
     counters.insert(counters.end(), group.begin(), group.end());
   }
@@ -344,6 +345,64 @@ inline iolib::CbConfig cb_config_of(const CbFlags& cb) {
   config.node_aggregation = *cb.node_agg;
   config.sieve_threshold = *cb.sieve_threshold;
   return config;
+}
+
+// Shared fabric-topology flags: preset, rack geometry, and ToR uplink
+// taper. Defaults are the flat preset — byte-identical to the pre-topology
+// binaries (Cluster builds no Topology at all).
+struct TopologyFlags {
+  std::string* topology;
+  std::int64_t* racks;
+  double* oversubscription;
+};
+
+inline TopologyFlags add_topology_flags(FlagSet& flags) {
+  TopologyFlags t;
+  t.topology = flags.add_string("topology", "flat", "fabric preset: flat|tor|fat-tree");
+  t.racks = flags.add_i64("racks", 0,
+                          "rack count for tor/fat-tree (0 = nodes/8, at least 1)");
+  t.oversubscription =
+      flags.add_f64("oversubscription", 1.0, "ToR uplink taper (4 = 4:1 oversubscribed)");
+  return t;
+}
+
+// Validates the topology flags and applies them onto a ClusterConfig.
+inline void apply_topology(const TopologyFlags& t, net::ClusterConfig& cluster) {
+  net::TopologyKind kind = net::TopologyKind::flat;
+  if (!net::parse_topology_kind(*t.topology, kind)) {
+    std::fprintf(stderr, "unknown --topology (want flat|tor|fat-tree): %s\n",
+                 t.topology->c_str());
+    std::exit(1);
+  }
+  cluster.topology = kind;
+  if (*t.racks < 0) {
+    std::fprintf(stderr, "--racks must be >= 0 (got %lld)\n", static_cast<long long>(*t.racks));
+    std::exit(1);
+  }
+  if (*t.oversubscription <= 0) {
+    std::fprintf(stderr, "--oversubscription must be > 0\n");
+    std::exit(1);
+  }
+  cluster.oversubscription = *t.oversubscription;
+  std::size_t racks = static_cast<std::size_t>(*t.racks);
+  if (racks == 0) racks = std::max<std::size_t>(1, cluster.nodes / 8);
+  cluster.racks = racks;
+  if (cluster.nodes % cluster.racks != 0) {
+    std::fprintf(stderr, "--racks=%zu does not divide nodes=%zu\n", cluster.racks,
+                 cluster.nodes);
+    std::exit(1);
+  }
+}
+
+// Topology link/flow instrumentation (net.topo.* locality census). stderr,
+// like the other counter dumps, so stdout stays byte-comparable.
+inline void print_topo_counters() {
+  const auto counters = counter_snapshot("net.topo");
+  if (counters.empty()) return;
+  std::fprintf(stderr, "\n-- topology counters --\n");
+  for (const auto& [name, value] : counters) {
+    std::fprintf(stderr, "%-36s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
 }
 
 // Shared --shards flag: how many OS threads to spread independent

@@ -35,16 +35,29 @@ std::uint64_t index_bytes_read() {
          counter("plfs.index.global_bytes_read").local_value();
 }
 
+// Fabric-topology knobs threaded into every rig of a row (defaults = flat
+// preset + block groups, byte-identical to the pre-topology bench).
+struct TopoOpts {
+  net::TopologyKind kind = net::TopologyKind::flat;
+  std::size_t racks = 1;
+  double oversubscription = 1.0;
+  bool rack_groups = false;
+};
+
 Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
-                plfs::IndexBackend backend, plfs::WireFormat wire, const pfs::FaultPlan& plan) {
+                plfs::IndexBackend backend, plfs::WireFormat wire, const pfs::FaultPlan& plan,
+                const TopoOpts& topo) {
   Row row{};
   row.streams = streams;
   const OpGen ops = strided_ops(per_proc, record);
-  auto rig_opts = [backend, wire, &plan] {
+  auto rig_opts = [backend, wire, &plan, &topo] {
     testbed::Rig::Options o = bench::lanl_rig();
     o.index_backend = backend;
     o.index_wire = wire;
     o.fault_plan = plan;
+    o.cluster.topology = topo.kind;
+    o.cluster.racks = topo.racks;
+    o.cluster.oversubscription = topo.oversubscription;
     return o;
   };
 
@@ -67,6 +80,7 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
   // strategies (each strategy rereads the same freshly written data).
   {
     testbed::Rig rig(rig_opts());
+    rig.mount().rack_aware_groups = topo.rack_groups;
     JobSpec w;
     w.file = "noflat";
     w.ops = ops;
@@ -82,6 +96,7 @@ Row run_streams(int streams, std::uint64_t per_proc, std::uint64_t record,
   }
   {
     testbed::Rig rig(rig_opts());
+    rig.mount().rack_aware_groups = topo.rack_groups;
     JobSpec w;
     w.file = "flat";
     w.ops = ops;
@@ -108,6 +123,9 @@ int main(int argc, char** argv) {
   auto* backend_name = bench::add_index_backend_flag(flags);
   auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  const bench::TopologyFlags topo_flags = bench::add_topology_flags(flags);
+  auto* rack_groups_flag = flags.add_bool(
+      "rack-groups", false, "form Parallel Index Read groups by rack instead of rank blocks");
   auto* shards_flag = bench::add_shards_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   auto* trace_path = bench::add_trace_flag(flags);
@@ -121,6 +139,15 @@ int main(int argc, char** argv) {
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
   const plfs::WireFormat wire = bench::index_wire_or_die(*wire_name);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
+  TopoOpts topo;
+  {
+    net::ClusterConfig cluster = testbed::lanl_cluster();
+    bench::apply_topology(topo_flags, cluster);
+    topo.kind = cluster.topology;
+    topo.racks = cluster.racks;
+    topo.oversubscription = cluster.oversubscription;
+    topo.rack_groups = *rack_groups_flag;
+  }
   const std::size_t shards = bench::shards_or_die(*shards_flag);
 
   // Each row is an independent simulation; the pool spreads them across
@@ -130,8 +157,8 @@ int main(int argc, char** argv) {
   std::vector<Row> rows(stream_counts.size());
   sim::ShardPool pool(shards);
   for (std::size_t i = 0; i < stream_counts.size(); ++i) {
-    pool.submit([&rows, &stream_counts, i, per_proc, record, backend, wire, &plan] {
-      rows[i] = run_streams(stream_counts[i], per_proc, record, backend, wire, plan);
+    pool.submit([&rows, &stream_counts, i, per_proc, record, backend, wire, &plan, &topo] {
+      rows[i] = run_streams(stream_counts[i], per_proc, record, backend, wire, plan, topo);
     });
   }
   pool.run_all();
@@ -184,10 +211,14 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  \"config\": {\"max_streams\": %lld, \"per_proc_mib\": %lld, "
                  "\"record_kib\": %lld, \"index_backend\": \"%s\", \"index_wire\": \"%s\", "
-                 "\"fault_plan\": \"%s\", \"shards\": %zu},\n",
+                 "\"fault_plan\": \"%s\", \"topology\": \"%s\", \"racks\": %zu, "
+                 "\"oversubscription\": %s, \"rack_groups\": %s, \"shards\": %zu},\n",
                  static_cast<long long>(*max_streams), static_cast<long long>(*per_proc_mib),
                  static_cast<long long>(*record_kib), plfs::index_backend_name(backend).c_str(),
-                 plfs::wire_format_name(wire).c_str(), plan_spec->c_str(), shards);
+                 plfs::wire_format_name(wire).c_str(), plan_spec->c_str(),
+                 net::topology_kind_name(topo.kind).c_str(), topo.racks,
+                 json_double(topo.oversubscription, 2).c_str(),
+                 topo.rack_groups ? "true" : "false", shards);
     std::fprintf(f, "  \"rows\": [");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
@@ -225,6 +256,7 @@ int main(int argc, char** argv) {
   bench::finish_trace(*trace_path);
   bench::print_fault_counters();
   bench::print_index_counters();
+  bench::print_topo_counters();
   bench::print_histograms();
   bench::print_sim_counters();
   return 0;

@@ -24,8 +24,18 @@ using namespace tio::workloads;
 
 namespace {
 
+// Fabric preset applied to every rig; set once after flag parsing, before
+// the shard pool starts (defaults = flat, byte-identical).
+net::TopologyKind g_topology = net::TopologyKind::flat;
+std::size_t g_racks = 1;
+double g_oversubscription = 1.0;
+
 double read_bw(const JobSpec& base, Access access, int procs) {
-  testbed::Rig rig(bench::lanl_rig());
+  testbed::Rig::Options opts = bench::lanl_rig();
+  opts.cluster.topology = g_topology;
+  opts.cluster.racks = g_racks;
+  opts.cluster.oversubscription = g_oversubscription;
+  testbed::Rig rig(opts);
   JobSpec spec = base;
   spec.target.access = access;
   spec.target.strategy = plfs::ReadStrategy::parallel_read;
@@ -97,6 +107,7 @@ int main(int argc, char** argv) {
   auto* scale_mib = flags.add_i64("scale-mib", 8,
                                   "per-process data scale in MiB (paper used up to 1 GB)");
   auto* shards_flag = bench::add_shards_flag(flags);
+  const bench::TopologyFlags topo_flags = bench::add_topology_flags(flags);
   const bench::CbFlags cb_flags = bench::add_cb_flags(flags);
   auto* with_noncontig = flags.add_bool(
       "noncontig", false, "also run the noncontiguous field-access kernel (sieving showcase)");
@@ -107,6 +118,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   bench::start_trace(*trace_path);
+  {
+    net::ClusterConfig cluster = testbed::lanl_cluster();
+    bench::apply_topology(topo_flags, cluster);
+    g_topology = cluster.topology;
+    g_racks = cluster.racks;
+    g_oversubscription = cluster.oversubscription;
+  }
   const std::size_t shards = bench::shards_or_die(*shards_flag);
   const auto procs = bench::sweep(32, static_cast<int>(*max_procs));
   const std::uint64_t scale = static_cast<std::uint64_t>(*scale_mib) << 20;
@@ -213,6 +231,7 @@ int main(int argc, char** argv) {
 
   bench::finish_trace(*trace_path);
   bench::print_cb_counters();
+  bench::print_topo_counters();
   bench::print_histograms();
   bench::print_sim_counters();
   return 0;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   auto* backend_name = bench::add_index_backend_flag(flags);
   auto* wire_name = bench::add_index_wire_flag(flags);
   auto* plan_spec = bench::add_fault_plan_flag(flags);
+  const bench::TopologyFlags topo_flags = bench::add_topology_flags(flags);
   auto* shards_flag = bench::add_shards_flag(flags);
   auto* json_path = flags.add_string("json", "", "also write results to this file as JSON");
   auto* trace_path = bench::add_trace_flag(flags);
@@ -35,6 +36,15 @@ int main(int argc, char** argv) {
   const plfs::IndexBackend backend = bench::index_backend_or_die(*backend_name);
   const plfs::WireFormat wire = bench::index_wire_or_die(*wire_name);
   const pfs::FaultPlan plan = bench::fault_plan_or_die(*plan_spec);
+  // Validate against the Cielo geometry, then thread the resolved preset
+  // into every rig below.
+  net::ClusterConfig topo_cluster = testbed::cielo();
+  bench::apply_topology(topo_flags, topo_cluster);
+  const auto apply_topo = [&topo_cluster](testbed::Rig::Options& o) {
+    o.cluster.topology = topo_cluster.topology;
+    o.cluster.racks = topo_cluster.racks;
+    o.cluster.oversubscription = topo_cluster.oversubscription;
+  };
   const std::size_t shards = bench::shards_or_die(*shards_flag);
 
   struct ReadRow {
@@ -67,6 +77,7 @@ int main(int argc, char** argv) {
     opts.index_backend = backend;
     opts.index_wire = wire;
     opts.fault_plan = plan;
+    apply_topo(opts);
     testbed::Rig rig(std::move(opts));
     JobSpec spec;
     spec.file = "big";
@@ -94,6 +105,7 @@ int main(int argc, char** argv) {
   const auto storm_open = [&](int n, std::size_t mds, bool shared) {
     testbed::Rig::Options opts = bench::cielo_rig(mds);
     opts.fault_plan = plan;
+    apply_topo(opts);
     testbed::Rig rig(std::move(opts));
     MetaSpec spec;
     spec.use_plfs = true;
@@ -128,6 +140,7 @@ int main(int argc, char** argv) {
   const auto direct_open = [&](int n, bool use_plfs) {
     testbed::Rig::Options opts = bench::cielo_rig(10);
     opts.fault_plan = plan;
+    apply_topo(opts);
     testbed::Rig rig(std::move(opts));
     MetaSpec spec;
     spec.use_plfs = use_plfs;
@@ -250,6 +263,7 @@ int main(int argc, char** argv) {
   bench::finish_trace(*trace_path);
   bench::print_fault_counters();
   bench::print_index_counters();
+  bench::print_topo_counters();
   bench::print_histograms();
   bench::print_sim_counters();
   return 0;

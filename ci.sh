@@ -28,7 +28,7 @@ ctest --preset asan -j "$jobs" -R \
 # optimized-build property and stays covered by the default-preset run.
 echo "==> sim/net/mpisim suites under ASan/UBSan (engine pools, intrusive waiters, LRU)"
 ctest --preset asan -j "$jobs" -R \
-  '^(Engine|Determinism|EventPool|FramePool|MoveFn|Mutex|Semaphore|Barrier|Gate|WaitGroup|Queue|FairShare|FcfsServer|Runtime|PageCache|Cluster|Comm)\.' \
+  '^(Engine|Determinism|EventPool|FramePool|MoveFn|Mutex|Semaphore|Barrier|Gate|WaitGroup|Queue|FairShare|FcfsServer|Runtime|PageCache|Cluster|ClusterConfigValidate|ClusterConfigLookahead|Comm|Topology|FlowNet|MaxMin)\.' \
   -E 'DeepAwaitChains'
 
 echo "==> chaos + raft suites under ASan/UBSan (fault injection, retry, failover)"
@@ -54,7 +54,7 @@ cmake --build --preset tsan -j "$jobs"
 # oversubscribe override lets shards=4/8 paths run on small CI hosts.
 echo "==> sim + mpisim suites and the cross-shard determinism matrix under TSan"
 TIO_MATRIX_RANKS=512 TIO_SHARDS_OVERSUBSCRIBE=1 ctest --preset tsan -j "$jobs" -R \
-  '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm|RaftTest)\.' \
+  '^(Engine|EventPool|FramePool|Determinism|ShardPool|ShardedEngine|ShardedTraceTest|ClusterConfigLookahead|Queue|FairShare|FcfsServer|Runtime|Comm|RaftTest|Topology|FlowNet|MaxMin)\.' \
   -E 'DeepAwaitChains'
 
 # The batcher and lease cache run inside every shard's engine when fig7 is
@@ -116,8 +116,10 @@ LC_ALL="$json_locale" ./build/bench/fig5_kernels --max-procs 64 --scale-mib 2 \
   --json="$out/fig5_cb.json" --trace="$out/fig5_cb_trace.json" >/dev/null 2>&1
 LC_ALL="$json_locale" ./build/bench/ablation_cb_aggregation --procs 32 --total-mib 8 \
   --json="$out/ablation_cb.json" >/dev/null 2>&1
+LC_ALL="$json_locale" ./build/bench/ablation_topology --procs 64 --per-proc-mib 1 \
+  --json="$out/ablation_topo.json" >/dev/null 2>&1
 for f in "$out"/fig4.json "$out"/fig7.json "$out"/fig7_raft.json "$out"/fig8.json \
-         "$out"/fig5_cb.json "$out"/ablation_cb.json \
+         "$out"/fig5_cb.json "$out"/ablation_cb.json "$out"/ablation_topo.json \
          "$out"/fig4_trace.json "$out"/fig7_trace.json "$out"/fig7_raft_trace.json \
          "$out"/fig8_trace.json "$out"/fig5_cb_trace.json \
          "$out"/micro_sim_trace.json "$out"/micro_index_trace.json; do
@@ -145,6 +147,48 @@ LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-pro
   --trace="$out/fig4_trace2.json" >"$out/fig4_run2.txt" 2>/dev/null
 cmp "$out/fig4_run1.txt" "$out/fig4_run2.txt"
 cmp "$out/fig4_trace.json" "$out/fig4_trace2.json"
+
+echo "==> explicit --topology=flat stdout must match the default byte-for-byte"
+# The flat preset never constructs the topology layer: passing the default
+# flags explicitly (flat, any rack geometry, any oversubscription) must
+# take the legacy per-NIC path and agree with the flagless binary exactly,
+# on every bench that threads the fabric flags.
+LC_ALL="$json_locale" ./build/bench/fig4_read_scaling --max-streams 32 --per-proc-mib 2 \
+  --topology=flat --racks=8 --oversubscription=4 >"$out/fig4_run_flat.txt" 2>/dev/null
+cmp "$out/fig4_run1.txt" "$out/fig4_run_flat.txt"
+LC_ALL="$json_locale" ./build/bench/fig5_kernels --max-procs 64 --scale-mib 2 \
+  --topology=flat --racks=8 --oversubscription=4 >"$out/fig5_run_flat.txt" 2>/dev/null
+cmp "$out/fig5_run1.txt" "$out/fig5_run_flat.txt"
+LC_ALL="$json_locale" ./build/bench/fig8_large_scale --max-read-procs 256 \
+  --max-meta-procs 128 --per-proc-mib 1 >"$out/fig8_run1.txt" 2>/dev/null
+LC_ALL="$json_locale" ./build/bench/fig8_large_scale --max-read-procs 256 \
+  --max-meta-procs 128 --per-proc-mib 1 \
+  --topology=flat --racks=8 --oversubscription=4 >"$out/fig8_run_flat.txt" 2>/dev/null
+cmp "$out/fig8_run1.txt" "$out/fig8_run_flat.txt"
+
+echo "==> tor at 8:1 must show the incast collapse that rack groups recover"
+# The headline scenario of BENCH_topology.json at smoke scale: thin racks
+# (2 nodes) so the 8:1 uplink is below a single NIC, sqrt groups straddle
+# racks, rack-aware groups keep gathers inside a ToR. The gate asserts the
+# ordering, not exact timings: sqrt@8:1 slower than sqrt@1:1, and the rack
+# grouping strictly cheaper in cross-rack bytes (>= 1.5x).
+LC_ALL="$json_locale" ./build/bench/ablation_topology --procs 128 --racks 32 \
+  --per-proc-mib 1 --json="$out/ablation_topo_pin.json" >/dev/null 2>&1
+python3 - "$out/ablation_topo_pin.json" <<'PY'
+import json, sys
+rows = {(r["topology"], r["oversubscription"], r["grouping"]): r
+        for r in json.load(open(sys.argv[1]))["rows"]}
+base = rows[("tor", 1.0, "sqrt")]["read_open_s"]
+slow = rows[("tor", 8.0, "sqrt")]["read_open_s"]
+rack = rows[("tor", 8.0, "rack")]["read_open_s"]
+xb_sqrt = rows[("tor", 8.0, "sqrt")]["cross_rack_bytes"]
+xb_rack = rows[("tor", 8.0, "rack")]["cross_rack_bytes"]
+print(f"    tor sqrt open: 1:1={base:.3f}s 8:1={slow:.3f}s; rack@8:1={rack:.3f}s; "
+      f"x-rack bytes sqrt={xb_sqrt} rack={xb_rack}")
+assert slow > base * 1.1, f"no incast collapse: {slow:.3f}s vs {base:.3f}s"
+assert rack < slow, f"rack groups did not recover: {rack:.3f}s vs {slow:.3f}s"
+assert xb_sqrt >= 1.5 * xb_rack, f"cross-rack reduction below 1.5x: {xb_sqrt}/{xb_rack}"
+PY
 
 echo "==> fig7 --mds_replication=none stdout must match the default byte-for-byte"
 # The raft layer must be invisible when off: the default and the explicit

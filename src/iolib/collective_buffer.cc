@@ -118,9 +118,9 @@ std::vector<CbChunk> chunks_of(pfs::ExtentMap& map) {
 }
 
 // The j this rank aggregates, or -1.
-int my_aggregator_slot(const mpi::Comm& comm, int num_aggs) {
-  for (int j = 0; j < num_aggs; ++j) {
-    if (cb_aggregator_rank(j, num_aggs, comm.size()) == comm.rank()) return j;
+int my_aggregator_slot(const mpi::Comm& comm, const std::vector<int>& aggs) {
+  for (std::size_t j = 0; j < aggs.size(); ++j) {
+    if (aggs[j] == comm.rank()) return static_cast<int>(j);
   }
   return -1;
 }
@@ -196,6 +196,18 @@ int cb_num_aggregators(const CbConfig& config, const mpi::Comm& comm) {
   return std::max(1, comm.size() / std::max(1, per_node));
 }
 
+std::vector<int> cb_aggregator_ranks(const CbConfig& config, const mpi::Comm& comm,
+                                     int num_aggregators) {
+  if (config.rack_aware_placement) {
+    return NodePlan::build(comm).rack_aware_aggregators(num_aggregators);
+  }
+  std::vector<int> aggs(static_cast<std::size_t>(num_aggregators));
+  for (int j = 0; j < num_aggregators; ++j) {
+    aggs[static_cast<std::size_t>(j)] = cb_aggregator_rank(j, num_aggregators, comm.size());
+  }
+  return aggs;
+}
+
 std::vector<CbRange> cb_sieve_groups(const std::vector<CbRange>& runs, double threshold,
                                      CbSieveStats* stats) {
   if (threshold <= 0 || runs.size() < 2) return runs;
@@ -258,6 +270,7 @@ sim::Task<Status> cb_write(mpi::Comm& comm, const CbConfig& config, std::vector<
     co_return Status::Ok();
   }
   const int num_aggs = cb_num_aggregators(config, comm);
+  const std::vector<int> aggs = cb_aggregator_ranks(config, comm, num_aggs);
 
   // Split my chunks across aggregator domains.
   std::vector<std::vector<CbChunk>> outgoing(num_aggs);
@@ -277,7 +290,7 @@ sim::Task<Status> cb_write(mpi::Comm& comm, const CbConfig& config, std::vector<
     // aggregator).
     trace::Span gather(engine, kGather, grank);
     for (int j = 0; j < num_aggs; ++j) {
-      const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+      const int root = aggs[static_cast<std::size_t>(j)];
       std::uint64_t bytes = 0;
       for (const auto& c : outgoing[j]) bytes += c.data.size() + 16;
       note_gather(comm, root, bytes);
@@ -293,7 +306,7 @@ sim::Task<Status> cb_write(mpi::Comm& comm, const CbConfig& config, std::vector<
     const NodePlan plan = NodePlan::build(comm);
     const int me = comm.rank();
     const int leader = plan.leader_of(plan.my_node);
-    const int my_j = my_aggregator_slot(comm, num_aggs);
+    const int my_j = my_aggregator_slot(comm, aggs);
 
     // Phase 0: co-residents hand their per-aggregator chunk lists to the
     // node leader over the latency-only intra-node transport; the leader
@@ -344,7 +357,7 @@ sim::Task<Status> cb_write(mpi::Comm& comm, const CbConfig& config, std::vector<
       trace::Span shuffle(engine, kShuffle, grank);
       if (me == leader) {
         for (int j = 0; j < num_aggs; ++j) {
-          const int dst = cb_aggregator_rank(j, num_aggs, comm.size());
+          const int dst = aggs[static_cast<std::size_t>(j)];
           std::uint64_t bytes = 0;
           for (const auto& c : outgoing[j]) bytes += c.data.size() + 16;
           note_msg(comm, dst, bytes);
@@ -418,6 +431,7 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
     co_return Status::Ok();
   }
   const int num_aggs = cb_num_aggregators(config, comm);
+  const std::vector<int> aggs = cb_aggregator_ranks(config, comm, num_aggs);
 
   // A request piece as shipped to an aggregator.
   struct Piece {
@@ -446,7 +460,7 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
       std::vector<std::pair<Piece, FragmentList>> pieces;
     };
     for (int j = 0; j < num_aggs; ++j) {
-      const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+      const int root = aggs[static_cast<std::size_t>(j)];
       const std::uint64_t bytes = outgoing[j].size() * 24;
       note_gather(comm, root, 0);  // requests carry no file data
       std::vector<std::vector<Piece>> gathered;
@@ -484,7 +498,7 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
     {
       trace::Span reply_span(engine, kReply, grank);
       for (const int j : reply_from) {
-        const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+        const int root = aggs[static_cast<std::size_t>(j)];
         auto reply = co_await comm.recv<Reply>(root, kCbTagBase + j);
         for (auto& [p, fl] : reply.pieces) {
           by_want[p.want].emplace_back(p, std::move(fl));
@@ -505,7 +519,7 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
     const NodePlan plan = NodePlan::build(comm);
     const int me = comm.rank();
     const int leader = plan.leader_of(plan.my_node);
-    const int my_j = my_aggregator_slot(comm, num_aggs);
+    const int my_j = my_aggregator_slot(comm, aggs);
     // Members keep their piece lists: the leader replies with slices in
     // the same flattened (j-ascending, then list) order.
     const std::vector<std::vector<Piece>> my_pieces = outgoing;
@@ -569,7 +583,7 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
       trace::Span shuffle(engine, kShuffle, grank);
       if (me == leader) {
         for (int j = 0; j < num_aggs; ++j) {
-          const int dst = cb_aggregator_rank(j, num_aggs, comm.size());
+          const int dst = aggs[static_cast<std::size_t>(j)];
           note_msg(comm, dst, 0);
           co_await comm.send(dst, kCbTagShipR + j, node_runs[j],
                              node_runs[j].size() * 24);
@@ -617,7 +631,7 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
         pfs::ExtentMap restaged;
         for (int j = 0; j < num_aggs; ++j) {
           if (node_runs[j].empty()) continue;
-          const int root = cb_aggregator_rank(j, num_aggs, comm.size());
+          const int root = aggs[static_cast<std::size_t>(j)];
           auto reply =
               co_await comm.recv<std::vector<FragmentList>>(root, kCbTagAggReply + j);
           for (std::size_t i = 0; i < node_runs[j].size(); ++i) {

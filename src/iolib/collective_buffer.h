@@ -55,6 +55,12 @@ struct CbConfig {
   // sieve_threshold x its useful bytes. 0 disables sieving (pure list
   // I/O over the merged runs).
   double sieve_threshold = 0.0;
+  // Place aggregators rack-aware (NodePlan::rack_aware_aggregators) instead
+  // of the classic even stride. Off by default: the default placement (and
+  // hence wire pattern) matches the pre-topology layer bit-for-bit. Only
+  // changes behaviour under rack geometries where the stride and the rack
+  // boundaries misalign.
+  bool rack_aware_placement = false;
 };
 
 struct CbChunk {
@@ -82,6 +88,11 @@ sim::Task<Status> cb_read(mpi::Comm& comm, const CbConfig& config, std::vector<C
 // which lands them on distinct nodes under block placement).
 int cb_aggregator_rank(int j, int num_aggregators, int comm_size);
 int cb_num_aggregators(const CbConfig& config, const mpi::Comm& comm);
+// The full slot -> comm-rank placement: the classic stride above, or the
+// rack-aware layout when config.rack_aware_placement is set. Every rank
+// computes the same vector locally (placement is shared knowledge).
+std::vector<int> cb_aggregator_ranks(const CbConfig& config, const mpi::Comm& comm,
+                                     int num_aggregators);
 
 // Sieve statistics of one grouping pass.
 struct CbSieveStats {

@@ -31,7 +31,9 @@ namespace tio::iolib {
 struct NodePlan {
   std::vector<int> node_of;                // comm rank -> dense node id
   std::vector<std::vector<int>> members;   // node id -> comm ranks, ascending
+  std::vector<int> rack_of;                // dense node id -> physical rack
   int my_node = 0;                         // dense node id of the caller
+  int my_rack = 0;                         // physical rack of the caller
 
   static NodePlan build(const mpi::Comm& comm);
 
@@ -39,6 +41,16 @@ struct NodePlan {
   int leader_of(int node) const { return members[node][0]; }
   int leader_of_rank(int rank) const { return leader_of(node_of[rank]); }
   bool is_leader(int rank) const { return leader_of_rank(rank) == rank; }
+
+  // Rack-locality-aware aggregator placement: `num_aggs` distinct comm
+  // ranks spread as evenly as possible across the racks the comm touches
+  // (round-robin over racks in first-appearance order), and within a rack
+  // over its nodes (leaders first, then seconds, ...). Keeps aggregator
+  // fan-in balanced per ToR uplink, so an oversubscribed uplink is not hit
+  // with the whole exchange at once the way classic stride placement
+  // (cb_aggregator_rank) can when its stride aligns with rack boundaries.
+  // Deterministic; requires 1 <= num_aggs <= comm size.
+  std::vector<int> rack_aware_aggregators(int num_aggs) const;
 };
 
 // Message census of a binomial gather rooted at `root` over `comm`: every

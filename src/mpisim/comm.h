@@ -49,6 +49,13 @@ class Comm {
     check_rank(r);
     return rt_->node_of(group_->members[r]);
   }
+  // Rack hosting comm rank `r` — same local-knowledge contract as
+  // node_of_rank; rack geometry comes from ClusterConfig::rack_of_node.
+  std::size_t rack_of_rank(int r) const {
+    check_rank(r);
+    return rt_->rack_of(group_->members[r]);
+  }
+  std::size_t my_rack() const { return rt_->rack_of(global_rank()); }
   Runtime& runtime() const { return *rt_; }
   sim::Engine& engine() const { return rt_->engine(); }
   // Mailbox context id (unique per communicator); diagnostics only.

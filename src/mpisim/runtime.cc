@@ -16,6 +16,10 @@ std::size_t Runtime::node_of(int rank) const {
   return (static_cast<std::size_t>(rank) / cfg.cores_per_node) % cfg.nodes;
 }
 
+std::size_t Runtime::rack_of(int rank) const {
+  return cluster_.config().rack_of_node(node_of(rank));
+}
+
 sim::Queue<std::any>& Runtime::mailbox(const MailboxKey& key) {
   // Mailboxes (and their recycling lists) belong to one engine and are
   // unsynchronized; all ranks of a runtime must run on that engine's shard.

@@ -31,6 +31,8 @@ class Runtime {
   sim::Engine& engine() { return cluster_.engine(); }
   int nprocs() const { return nprocs_; }
   std::size_t node_of(int rank) const;
+  // Rack hosting `rank` (cluster rack geometry over node_of).
+  std::size_t rack_of(int rank) const;
 
   // Per-message software overhead on top of the fabric transfer.
   Duration send_overhead() const { return Duration::us(1); }

@@ -3,12 +3,41 @@
 #include <stdexcept>
 
 #include "common/strutil.h"
+#include "net/topology.h"
 
 namespace tio::net {
 
+void ClusterConfig::validate() const {
+  if (nodes == 0) throw std::invalid_argument("Cluster: zero nodes");
+  if (cores_per_node == 0) throw std::invalid_argument("Cluster: zero cores_per_node");
+  if (nic_bandwidth <= 0) throw std::invalid_argument("Cluster: nic_bandwidth must be > 0");
+  if (storage_net_bandwidth <= 0) {
+    throw std::invalid_argument("Cluster: storage_net_bandwidth must be > 0");
+  }
+  if (storage_nic_bandwidth <= 0) {
+    throw std::invalid_argument("Cluster: storage_nic_bandwidth must be > 0");
+  }
+  if (page_cache_bandwidth <= 0) {
+    throw std::invalid_argument("Cluster: page_cache_bandwidth must be > 0");
+  }
+  if (!(fabric_latency > Duration::zero())) {
+    throw std::invalid_argument("Cluster: fabric_latency must be > 0");
+  }
+  if (!(storage_net_latency > Duration::zero())) {
+    throw std::invalid_argument("Cluster: storage_net_latency must be > 0");
+  }
+  if (racks == 0) throw std::invalid_argument("Cluster: zero racks");
+  if (nodes % racks != 0) {
+    throw std::invalid_argument("Cluster: racks must evenly divide nodes");
+  }
+  if (oversubscription <= 0) {
+    throw std::invalid_argument("Cluster: oversubscription must be > 0");
+  }
+}
+
 Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     : engine_(engine), config_(config) {
-  if (config_.nodes == 0) throw std::invalid_argument("Cluster: zero nodes");
+  config_.validate();
   nic_out_.reserve(config_.nodes);
   nic_in_.reserve(config_.nodes);
   caches_.reserve(config_.nodes);
@@ -25,12 +54,21 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
   storage_net_ = std::make_unique<sim::FairShareChannel>(
       engine_, config_.storage_net_bandwidth, config_.storage_nic_bandwidth,
       "storage-net");
+  if (config_.topology != TopologyKind::flat) {
+    topo_ = std::make_unique<Topology>(engine_, config_);
+  }
 }
+
+Cluster::~Cluster() = default;
 
 sim::Task<void> Cluster::fabric_transfer(std::size_t from_node, std::size_t to_node,
                                          std::uint64_t bytes) {
   if (from_node >= config_.nodes || to_node >= config_.nodes) {
     throw std::out_of_range("Cluster::fabric_transfer: bad node index");
+  }
+  if (topo_) {
+    co_await topo_->transfer(from_node, to_node, bytes);
+    co_return;
   }
   if (from_node == to_node) {
     // Shared-memory transport: latency only, no NIC involvement.

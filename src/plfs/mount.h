@@ -71,6 +71,13 @@ struct PlfsMount {
   // Group size for the Parallel Index Read collective (0 = sqrt(nprocs)).
   std::size_t parallel_read_group = 0;
 
+  // Form Parallel Index Read groups by rack (Comm::rack_of_rank) instead of
+  // contiguous rank blocks of parallel_read_group. Keeps the member->leader
+  // gathers inside one ToR and spreads the leaders across racks, which
+  // tames the leader-allgather incast on oversubscribed uplinks. Off by
+  // default: the default grouping (and wire pattern) is unchanged.
+  bool rack_aware_groups = false;
+
   // CPU cost of handling one index entry (deserialize/merge/sort); charged
   // wherever entries are processed, so index aggregation is never free.
   Duration index_cpu_per_entry = Duration::ns(1000);

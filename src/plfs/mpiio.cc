@@ -114,7 +114,13 @@ sim::Task<Result<IndexPtr>> aggregate_parallel(Plfs& plfs, mpi::Comm& comm,
   // 3. Two-level aggregation: members -> group leader, leaders <-> leaders.
   trace::Span exchange_span(comm.engine(), open_exchange_site(), ctx.rank);
   const auto gsize = static_cast<int>(group_size_for(plfs.mount(), n));
-  mpi::Comm group = co_await comm.split(comm.rank() / gsize, comm.rank());
+  // Default: contiguous rank blocks of gsize. Rack-aware: one group per
+  // rack, so member gathers never leave a ToR and (with block placement)
+  // exactly one leader lands in each occupied rack.
+  const int group_color = plfs.mount().rack_aware_groups
+                              ? static_cast<int>(comm.rack_of_rank(comm.rank()))
+                              : comm.rank() / gsize;
+  mpi::Comm group = co_await comm.split(group_color, comm.rank());
   const bool leader = group.rank() == 0;
   mpi::Comm leaders = co_await comm.split(leader ? 0 : 1, comm.rank());
 

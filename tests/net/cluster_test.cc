@@ -104,5 +104,84 @@ TEST(Cluster, PerNodePageCachesAreIndependent) {
   EXPECT_EQ(c.page_cache(1).lookup(7, 0, 1_MiB), 0u);
 }
 
+// --- ClusterConfig::validate — one rejection per constraint, so a config
+// typo (a zeroed bandwidth, a rack count that leaves ragged racks) fails
+// at construction instead of producing division-by-zero rates mid-run.
+
+TEST(ClusterConfigValidate, AcceptsTheDefaultsAndSmallConfig) {
+  EXPECT_NO_THROW(ClusterConfig{}.validate());
+  EXPECT_NO_THROW(small_config().validate());
+}
+
+TEST(ClusterConfigValidate, RejectsZeroCoresPerNode) {
+  ClusterConfig c = small_config();
+  c.cores_per_node = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsNonPositiveNicBandwidth) {
+  ClusterConfig c = small_config();
+  c.nic_bandwidth = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.nic_bandwidth = -1e9;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsNonPositiveStorageNetBandwidth) {
+  ClusterConfig c = small_config();
+  c.storage_net_bandwidth = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsNonPositiveStorageNicBandwidth) {
+  ClusterConfig c = small_config();
+  c.storage_nic_bandwidth = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsNonPositivePageCacheBandwidth) {
+  ClusterConfig c = small_config();
+  c.page_cache_bandwidth = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsNonPositiveLatencies) {
+  ClusterConfig c = small_config();
+  c.fabric_latency = Duration::zero();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.storage_net_latency = Duration::ns(-5);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsZeroRacks) {
+  ClusterConfig c = small_config();
+  c.racks = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, RejectsRaggedRackGeometry) {
+  ClusterConfig c = small_config();  // 4 nodes
+  c.racks = 3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.racks = 2;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ClusterConfigValidate, RejectsNonPositiveOversubscription) {
+  ClusterConfig c = small_config();
+  c.oversubscription = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.oversubscription = -2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfigValidate, ClusterConstructorRunsValidation) {
+  sim::Engine e;
+  ClusterConfig c = small_config();
+  c.nic_bandwidth = 0;
+  EXPECT_THROW(Cluster(e, c), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tio::net

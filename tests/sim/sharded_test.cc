@@ -4,6 +4,7 @@
 // the multi-shard trace export.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -209,12 +210,66 @@ TEST(ShardedEngine, DeliversInAdoptThenSendOrder) {
 }
 
 TEST(ClusterConfigLookahead, MinRemoteLatencyIsSmallestLink) {
+  // Regression (lookahead soundness): min_remote_latency() used to be
+  // min(fabric_latency, storage_net_latency), but co-resident ranks
+  // interact at intra_node_latency() = fabric_latency / 4 — and nothing
+  // forces a shard partition to be node-aligned, so the advertised
+  // lookahead was 4x too optimistic on the fabric side. Every switched
+  // topology preset costs at least one full fabric_latency hop, so the
+  // intra-node path is the fabric minimum for every preset.
   net::ClusterConfig cfg;
   cfg.fabric_latency = Duration::us(3);
   cfg.storage_net_latency = Duration::us(7);
-  EXPECT_EQ(cfg.min_remote_latency().to_ns(), Duration::us(3).to_ns());
-  cfg.storage_net_latency = Duration::us(2);
-  EXPECT_EQ(cfg.min_remote_latency().to_ns(), Duration::us(2).to_ns());
+  EXPECT_LE(cfg.min_remote_latency().to_ns(), cfg.intra_node_latency().to_ns());
+  EXPECT_EQ(cfg.min_remote_latency().to_ns(), Duration::ns(750).to_ns());
+  cfg.storage_net_latency = Duration::us(2);  // still above fabric / 4
+  EXPECT_EQ(cfg.min_remote_latency().to_ns(), Duration::ns(750).to_ns());
+  cfg.storage_net_latency = Duration::ns(500);  // storage below the fabric
+  EXPECT_EQ(cfg.min_remote_latency().to_ns(), Duration::ns(500).to_ns());
+}
+
+// The hazard pinned end-to-end: one node's ranks split across shards and
+// exchange intra-node messages, with the engines coupled at exactly
+// min_remote_latency(). Under the old lookahead, ShardedEngine::post
+// rejects the sub-lookahead delay outright (logic_error) — this function
+// throws and the test fails on the old code. Under the sound lookahead the
+// result must be a pure function of the message pattern, independent of
+// the shard count.
+PingResult run_intra_node_ring(std::size_t shards, int hops) {
+  net::ClusterConfig cfg;  // defaults: fabric 2 us -> intra-node 500 ns
+  ShardedEngine::Options opts;
+  opts.shards = shards;
+  opts.lookahead = cfg.min_remote_latency();
+  ShardedEngine se(opts);
+  // Four "co-resident ranks"; with shards > 1 the node straddles shards.
+  std::array<Engine, 4> ranks;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    se.adopt(i % shards, ranks[i]);
+  }
+  struct Ring {
+    ShardedEngine* se;
+    std::array<Engine, 4>* ranks;
+    Duration delay;
+    int left;
+    void send(std::size_t at) {
+      if (left-- <= 0) return;
+      const std::size_t next = (at + 1) % ranks->size();
+      se->post((*ranks)[at], (*ranks)[next], delay, [this, next] { send(next); });
+    }
+  } ring{&se, &ranks, cfg.intra_node_latency(), hops};
+  ring.send(0);
+  const std::uint64_t events = se.run();
+  return PingResult{ranks[0].now().to_ns(), ranks[1].now().to_ns(), events,
+                    se.messages_delivered()};
+}
+
+TEST(ClusterConfigLookahead, IntraNodeSplitAcrossShardsIsDeterministic) {
+  const PingResult serial = run_intra_node_ring(1, 40);
+  EXPECT_EQ(serial.messages, 40u);
+  EXPECT_GT(serial.b_end_ns, 0);
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    EXPECT_EQ(run_intra_node_ring(shards, 40), serial) << "shards=" << shards;
+  }
 }
 
 class ShardedTraceTest : public ::testing::Test {
